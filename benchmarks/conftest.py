@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+All figure benchmarks draw on one session-scoped
+:class:`~repro.experiments.runner.ExperimentRunner` at the default
+evaluation scale, so the 12-workload x 4-policy grid is simulated once
+and every figure is derived from the same cached runs (exactly how the
+paper's evaluation works).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure: regenerates a paper figure/table"
+    )
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print through pytest's capture with surrounding blank lines."""
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+    return _emit

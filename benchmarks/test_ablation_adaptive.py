@@ -1,0 +1,53 @@
+"""A-4: adaptive threshold prediction (the paper's future-work remark).
+
+Section V-B: "using adaptive threshold prediction can further improve
+the efficiency of the proposed scheme. This is part of our ongoing
+research."  The extension implemented in
+:class:`repro.core.adaptive.AdaptiveMigrationPolicy` is evaluated here
+on the two workloads whose fixed thresholds misfire (raytrace, vips)
+and on one where the defaults are already right (dedup).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table
+from repro.experiments.sweep import adaptive_comparison
+
+WORKLOADS = ("raytrace", "vips", "dedup")
+
+
+def test_adaptive_thresholds(benchmark, emit):
+    comparisons = benchmark.pedantic(
+        lambda: [adaptive_comparison(name) for name in WORKLOADS],
+        rounds=1, iterations=1,
+    )
+    emit(render_table(
+        ["workload", "fixed time (ns)", "adaptive time (ns)", "gain",
+         "final read thr", "final write thr", "promo efficiency"],
+        [
+            (
+                comparison.workload,
+                f"{comparison.fixed.memory_time_ns:.1f}",
+                f"{comparison.adaptive.memory_time_ns:.1f}",
+                f"{100 * comparison.amat_improvement:+.1f}%",
+                comparison.final_read_threshold,
+                comparison.final_write_threshold,
+                f"{comparison.promotion_efficiency:.2f}",
+            )
+            for comparison in comparisons
+        ],
+        title="A-4: fixed vs adaptive promotion thresholds",
+    ))
+    by_name = {comparison.workload: comparison for comparison in comparisons}
+
+    # raytrace: the bait workload — adaptation must help clearly
+    raytrace = by_name["raytrace"]
+    assert raytrace.amat_improvement > 0.1
+    assert raytrace.adaptive.migrations_to_dram < \
+        raytrace.fixed.migrations_to_dram
+    # the controller learned to be more conservative on reads
+    assert raytrace.final_read_threshold > 16
+
+    # dedup: thresholds already fine — adaptation must not hurt much
+    dedup = by_name["dedup"]
+    assert dedup.amat_improvement > -0.1

@@ -1,0 +1,36 @@
+"""A-3: DRAM share of the hybrid memory.
+
+The paper fixes DRAM at 10% of the memory (Section V-A).  Sweeping the
+split quantifies the trade: more DRAM buys faster service and fewer
+migrations, but burns 10x the background power per byte.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table
+from repro.experiments.sweep import dram_ratio_sweep
+
+RATIOS = (0.05, 0.1, 0.2, 0.3, 0.5)
+
+
+def test_dram_ratio_sweep(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: dram_ratio_sweep("x264", ratios=RATIOS),
+        rounds=1, iterations=1,
+    )
+    emit(render_table(
+        ["DRAM share", "memory time (ns)", "APPR (nJ)", "promotions",
+         "NVM writes"],
+        [
+            (f"{point.value:.2f}", f"{point.memory_time_ns:.1f}",
+             f"{point.appr_nj:.2f}", point.migrations_to_dram,
+             f"{point.nvm_writes:,}")
+            for point in points
+        ],
+        title="A-3: DRAM-fraction sweep on x264 (paper uses 0.10)",
+    ))
+    by_ratio = {point.value: point for point in points}
+    # more DRAM means faster memory service...
+    assert by_ratio[0.5].memory_time_ns < by_ratio[0.05].memory_time_ns
+    # ...and fewer NVM writes (more of the write set fits in DRAM)
+    assert by_ratio[0.5].nvm_writes < by_ratio[0.05].nvm_writes

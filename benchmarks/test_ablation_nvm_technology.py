@@ -1,0 +1,90 @@
+"""A-6: NVM-technology sensitivity.
+
+Section IV ties the thresholds to "the performance and power
+characteristics of the employed NVM"; this ablation quantifies how the
+hybrid trade-off moves across device generations.  Placement decisions
+are latency-blind (the policies see only hits), so migration *counts*
+stay fixed while their modelled cost scales with the device — letting
+the sweep isolate the pure technology effect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.report import render_table
+from repro.memory.devices import sttram_spec
+from repro.memory.specs import HybridMemorySpec
+from repro.mmu.simulator import simulate
+from repro.policies.registry import policy_factory
+from repro.workloads.parsec import parsec_workload
+
+
+def test_nvm_technology_sweep(benchmark, emit):
+    workload = parsec_workload("facesim")
+    base = workload.spec
+    static_factor = base.nvm.static_power_per_gb / 0.1
+
+    technologies = {
+        "pcm": base.nvm,
+        "pcm-fast-writes": dataclasses.replace(
+            base.nvm, name="pcm-fast",
+            write_latency=base.nvm.write_latency / 2,
+            write_energy=base.nvm.write_energy / 2,
+        ),
+        "sttram": sttram_spec().scaled(static=static_factor),
+        "pcm-slow": base.nvm.scaled(latency=2.0, energy=1.5),
+    }
+
+    def run_all():
+        rows = {}
+        for tech_name, nvm in technologies.items():
+            spec = HybridMemorySpec(
+                dram=base.dram, nvm=nvm, disk=base.disk,
+                dram_pages=base.dram_pages, nvm_pages=base.nvm_pages,
+            )
+            for policy in ("clock-dwf", "proposed"):
+                rows[(tech_name, policy)] = simulate(
+                    workload.trace, spec, policy_factory(policy),
+                    inter_request_gap=workload.inter_request_gap,
+                    warmup_fraction=workload.warmup_fraction,
+                )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(render_table(
+        ["technology", "policy", "mem time (ns)", "APPR (nJ)",
+         "migrations"],
+        [
+            (tech, policy,
+             f"{run.performance.memory_time * 1e9:.1f}",
+             f"{run.power.appr * 1e9:.2f}",
+             f"{run.accounting.migrations:,}")
+            for (tech, policy), run in rows.items()
+        ],
+        title="A-6: facesim across NVM technologies",
+    ))
+
+    # placement decisions are device-blind: same migration counts
+    for policy in ("clock-dwf", "proposed"):
+        counts = {
+            tech: rows[(tech, policy)].accounting.migrations
+            for tech in technologies
+        }
+        assert len(set(counts.values())) == 1, (policy, counts)
+
+    # better devices narrow but do not close the gap
+    for tech in technologies:
+        proposed = rows[(tech, "proposed")]
+        dwf = rows[(tech, "clock-dwf")]
+        assert proposed.performance.memory_time < \
+            dwf.performance.memory_time, tech
+    gap_pcm = (rows[("pcm", "clock-dwf")].performance.memory_time
+               / rows[("pcm", "proposed")].performance.memory_time)
+    gap_stt = (rows[("sttram", "clock-dwf")].performance.memory_time
+               / rows[("sttram", "proposed")].performance.memory_time)
+    assert gap_stt < gap_pcm  # STT-RAM softens CLOCK-DWF's penalty
+
+    # slower NVM hurts both absolutely
+    assert rows[("pcm-slow", "proposed")].performance.memory_time > \
+        rows[("pcm", "proposed")].performance.memory_time

@@ -1,0 +1,28 @@
+"""The headline benchmark: audit every encoded paper claim at once.
+
+``python -m repro claims`` prints the same table; this benchmark keeps
+the full audit under CI and fails loudly if calibration drifts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.claims import verify_claims
+from repro.experiments.report import render_table
+
+
+def test_all_paper_claims_hold(benchmark, runner, emit):
+    results = benchmark.pedantic(
+        lambda: verify_claims(runner), rounds=1, iterations=1
+    )
+    emit(render_table(
+        ["id", "ok", "claim", "paper", "measured"],
+        [
+            (r.claim_id, "PASS" if r.holds else "FAIL", r.statement,
+             r.paper_value, r.measured)
+            for r in results
+        ],
+        title="Paper-claim audit (12 claims, Sections III & V)",
+    ))
+    failing = [r.claim_id for r in results if not r.holds]
+    assert not failing, f"claims failing: {failing}"
+    assert len(results) >= 12

@@ -1,0 +1,145 @@
+"""Extended evaluation beyond the paper's figures.
+
+E-1  Grand policy comparison: every hybrid policy (including the two
+     extra baselines from the paper's related-work discussion — PDRAM
+     and the DRAM-cache architecture) on three representative
+     workloads.
+E-2  Multi-programmed mixes: the proposed scheme's advantage must
+     survive workload consolidation.
+E-3  Sizing rule: the MRC machinery versus the 75 % capacity rule.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table
+from repro.mmu.simulator import simulate
+from repro.policies.registry import policy_factory
+from repro.trace.mrc import miss_ratio_curve
+from repro.workloads.mix import mix_workloads
+
+POLICIES = ("proposed", "adaptive", "clock-dwf", "pdram", "dram-cache",
+            "never-migrate", "static-partition")
+WORKLOADS = ("bodytrack", "canneal", "x264")
+
+
+def test_grand_policy_comparison(benchmark, runner, emit):
+    def run_grid():
+        grid = {}
+        for workload in WORKLOADS:
+            for policy in POLICIES:
+                grid[(workload, policy)] = runner.run(workload, policy)
+        return grid
+
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = []
+    for workload in WORKLOADS:
+        base = runner.run(workload, "dram-only")
+        for policy in POLICIES:
+            run = grid[(workload, policy)]
+            rows.append((
+                workload,
+                policy,
+                f"{run.performance.memory_time * 1e9:.1f}",
+                f"{run.power.appr / base.power.appr:.2f}",
+                f"{run.hit_ratio:.4f}",
+                f"{run.accounting.migrations:,}",
+                f"{run.nvm_writes.total:,}",
+            ))
+    emit(render_table(
+        ["workload", "policy", "mem time (ns)", "power vs DRAM",
+         "hit ratio", "migrations", "NVM writes"],
+        rows,
+        title="E-1: all hybrid policies (power normalised to DRAM-only)",
+    ))
+
+    for workload in WORKLOADS:
+        times = {
+            policy: grid[(workload, policy)].performance.memory_time
+            for policy in POLICIES
+        }
+        best = min(times.values())
+        # the proposed scheme always beats CLOCK-DWF and the DRAM cache
+        assert times["proposed"] < times["clock-dwf"], workload
+        assert times["proposed"] < times["dram-cache"], workload
+        # on well-behaved workloads it is at or near the front; on the
+        # high-miss canneal its all-faults-to-DRAM rule pays a demotion
+        # per fault and PDRAM's fill-NVM-directly fault path wins — an
+        # honest limitation of the paper's design that this extended
+        # comparison surfaces (see EXPERIMENTS.md)
+        limit = 2.6 if workload == "canneal" else 1.35
+        assert times["proposed"] <= limit * best, workload
+        # the DRAM cache pays for inclusion: never the best
+        assert times["dram-cache"] > best, workload
+        # hit ratios: migration policies keep LRU-level hit ratios;
+        # the inclusive cache gives some capacity away
+        hits = {
+            policy: grid[(workload, policy)].hit_ratio
+            for policy in POLICIES
+        }
+        assert hits["dram-cache"] <= hits["proposed"] + 1e-9, workload
+
+
+def test_multiprogram_mix(benchmark, emit):
+    scale = dict(request_scale=1 / 1000, footprint_scale=1 / 128)
+
+    def run_mix():
+        mix = mix_workloads(("bodytrack", "vips", "canneal"), **scale)
+        results = {}
+        for policy in ("dram-only", "clock-dwf", "proposed"):
+            spec = mix.spec
+            if policy == "dram-only":
+                spec = spec.as_dram_only()
+            results[policy] = simulate(
+                mix.trace, spec, policy_factory(policy),
+                inter_request_gap=mix.inter_request_gap,
+                warmup_fraction=mix.warmup_fraction,
+            )
+        return mix, results
+
+    mix, results = benchmark.pedantic(run_mix, rounds=1, iterations=1)
+    base = results["dram-only"]
+    emit(render_table(
+        ["policy", "mem time (ns)", "power vs DRAM", "hit ratio",
+         "migrations"],
+        [
+            (
+                policy,
+                f"{run.performance.memory_time * 1e9:.1f}",
+                f"{run.power.appr / base.power.appr:.2f}",
+                f"{run.hit_ratio:.4f}",
+                f"{run.accounting.migrations:,}",
+            )
+            for policy, run in results.items()
+        ],
+        title=f"E-2: consolidated mix {mix.name}",
+    ))
+    proposed, dwf = results["proposed"], results["clock-dwf"]
+    assert proposed.performance.memory_time < dwf.performance.memory_time
+    assert proposed.power.appr < dwf.power.appr
+
+
+def test_sizing_rule_mrc(benchmark, runner, emit):
+    def analyse():
+        instance = runner.workload("x264")
+        curve = miss_ratio_curve(instance.trace, sample_cap=120_000)
+        return instance, curve
+
+    instance, curve = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    emit(render_table(
+        ["capacity (pages)", "capacity (% footprint)", "LRU miss ratio"],
+        [
+            (capacity,
+             f"{100 * capacity / instance.trace.unique_pages:.0f}%",
+             f"{miss:.4f}")
+            for capacity, miss in zip(curve.capacities, curve.miss_ratios)
+        ],
+        title="E-3: x264 miss-ratio curve vs the 75% sizing rule",
+    ))
+    rule_capacity = instance.spec.total_pages
+    # the paper's rule sits past the curve's knee: the miss ratio at
+    # 75% is within a small delta of the full-footprint floor...
+    assert curve.miss_ratio_at(rule_capacity) < \
+        curve.compulsory_miss_ratio + 0.05
+    # ...while a quarter of the capacity would hurt noticeably
+    assert curve.miss_ratio_at(rule_capacity // 4) > \
+        curve.miss_ratio_at(rule_capacity)

@@ -1,0 +1,41 @@
+"""F-1: regenerate Fig. 1 — DRAM-only power breakdown.
+
+Shape claims (paper Section III):
+* static power contributes 60-80% of DRAM main-memory power for the
+  bulk of the workloads (it *dominates*), and
+* streamcluster is the outlier: its access burst over a small footprint
+  makes dynamic power the biggest share.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_1
+from repro.experiments.report import render_figure
+
+
+def test_fig1(benchmark, runner, emit):
+    figure = benchmark.pedantic(
+        lambda: figure_1(runner), rounds=1, iterations=1
+    )
+    emit(render_figure(figure))
+
+    static_share = {
+        bar.label: bar.segments["Static"] / bar.total
+        for bar in figure.bars
+    }
+    # static dominates for every workload except the outlier
+    dominated = [name for name, share in static_share.items()
+                 if share >= 0.5]
+    assert len(dominated) >= 10
+    # streamcluster is the outlier with the smallest static share
+    assert static_share["streamcluster"] == min(static_share.values())
+    assert static_share["streamcluster"] < 0.35
+    # its dynamic share is the largest across the suite
+    dynamic_share = {
+        bar.label: bar.segments["Dynamic"] / bar.total
+        for bar in figure.bars
+    }
+    assert dynamic_share["streamcluster"] == max(dynamic_share.values())
+    # page-fault power is visible but never dominant
+    for bar in figure.bars:
+        assert bar.segments["Page Fault"] / bar.total < 0.5

@@ -1,0 +1,45 @@
+"""F-2b: regenerate Fig. 2b — CLOCK-DWF AMAT normalised to DRAM-only.
+
+Shape claims (paper Section III-B):
+* migrations dominate CLOCK-DWF's AMAT — more than 60% of the total on
+  the heavy workloads and around half on average,
+* normalised AMAT is well above 1 everywhere, with multi-10x outliers
+  (the paper prints 10.86 ... 29.64 overflow labels).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_2b
+from repro.experiments.report import render_figure
+from repro.experiments.results import ARITH_MEAN_LABEL, GEO_MEAN_LABEL
+
+
+def test_fig2b(benchmark, runner, emit):
+    figure = benchmark.pedantic(
+        lambda: figure_2b(runner), rounds=1, iterations=1
+    )
+    emit(render_figure(figure))
+
+    workload_bars = [
+        bar for bar in figure.bars
+        if bar.label not in (GEO_MEAN_LABEL, ARITH_MEAN_LABEL)
+    ]
+    totals = {bar.label: bar.total for bar in workload_bars}
+    migration_share = {
+        bar.label: bar.segments["Migrations"] / bar.total
+        for bar in workload_bars
+    }
+
+    # hybrid AMAT never beats DRAM-only (hits are slower, migrations
+    # cost extra) and is far worse on the write-scattered workloads
+    assert all(total > 0.9 for total in totals.values())
+    assert max(totals.values()) > 10.0  # the paper's overflow outliers
+    assert sorted(totals.values())[-3] > 4.0
+
+    # migrations dominate on the heavy workloads...
+    heavy = [name for name, share in migration_share.items()
+             if share > 0.6]
+    assert len(heavy) >= 5
+    # ...and account for a large share on (arithmetic) average
+    mean_share = sum(migration_share.values()) / len(migration_share)
+    assert mean_share > 0.45

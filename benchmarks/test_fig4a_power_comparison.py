@@ -1,0 +1,68 @@
+"""F-4a: regenerate Fig. 4a — power of CLOCK-DWF (left bars) and the
+proposed scheme (right bars), normalised to DRAM-only.
+
+Shape claims (paper Section V-B):
+* the proposed scheme beats CLOCK-DWF on power for most workloads
+  (up to ~48% better, double-digit geometric mean),
+* it cuts power substantially versus DRAM-only (the paper: up to 79%,
+  43% on average),
+* canneal and streamcluster remain above DRAM-only for both policies
+  (unsuitable for hybrid memory),
+* the migration component shrinks dramatically under the proposed
+  scheme — except raytrace, where the proposed scheme migrates more
+  (the threshold-bait case).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_4a
+from repro.experiments.report import render_figure
+from repro.experiments.results import GEO_MEAN_LABEL
+from repro.workloads.parsec import WORKLOAD_NAMES
+
+
+def test_fig4a(benchmark, runner, emit):
+    figure = benchmark.pedantic(
+        lambda: figure_4a(runner), rounds=1, iterations=1
+    )
+    emit(render_figure(figure))
+
+    dwf = figure.totals(group="clock-dwf")
+    proposed = figure.totals(group="proposed")
+
+    # proposed beats CLOCK-DWF on most workloads
+    wins = [name for name in WORKLOAD_NAMES
+            if proposed[name] < dwf[name]]
+    assert len(wins) >= 8
+    # and by a large factor at the extreme (paper: up to 48% less)
+    best_gain = min(proposed[name] / dwf[name] for name in WORKLOAD_NAMES)
+    assert best_gain < 0.52
+
+    # geometric means: proposed clearly ahead of CLOCK-DWF and well
+    # below the DRAM-only baseline (paper: 43% average saving)
+    dwf_gmean = figure.mean_total(GEO_MEAN_LABEL, group="clock-dwf")
+    proposed_gmean = figure.mean_total(GEO_MEAN_LABEL, group="proposed")
+    assert proposed_gmean < dwf_gmean
+    assert proposed_gmean < 0.95
+    # deepest saving versus DRAM-only (paper: up to 79%; shape: >40%)
+    assert min(proposed.values()) < 0.6
+
+    # unsuitable workloads stay above DRAM-only for both policies
+    for name in ("canneal", "streamcluster"):
+        assert dwf[name] > 1.0, name
+        assert proposed[name] > 1.0, name
+
+    # migration power collapses under the proposed scheme...
+    migration = {
+        (bar.group, bar.label): bar.segments["Migration"]
+        for bar in figure.bars
+    }
+    reduced = [
+        name for name in WORKLOAD_NAMES
+        if migration[("proposed", name)]
+        <= migration[("clock-dwf", name)] + 1e-9
+    ]
+    assert len(reduced) >= 9
+    # ...but not for raytrace, the paper's adverse case
+    assert migration[("proposed", "raytrace")] > \
+        migration[("clock-dwf", "raytrace")]

@@ -1,0 +1,65 @@
+"""Throughput micro-benchmarks for the simulator's hot paths.
+
+Not a paper artifact — these quantify the cost of the core data
+structures (the windowed LRU queue, the policy access path, the cache
+filter) so performance regressions in the simulator itself are caught.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lru import LRUQueue
+from repro.memory.specs import HybridMemorySpec
+from repro.mmu.manager import MemoryManager
+from repro.policies.registry import policy_factory
+from repro.workloads.synthetic import zipf_workload
+
+
+def test_lru_queue_touch_throughput(benchmark):
+    queue = LRUQueue()
+    queue.add_window(100, on_exit=lambda node: None)
+    for page in range(1000):
+        queue.push_front(page)
+    rng = np.random.default_rng(0)
+    pages = rng.integers(0, 1000, 10_000).tolist()
+
+    def touch_many():
+        touch = queue.touch
+        for page in pages:
+            touch(page)
+
+    benchmark(touch_many)
+    queue.check()
+
+
+def test_proposed_policy_access_throughput(benchmark):
+    trace = zipf_workload(pages=2000, requests=50_000, seed=1)
+    spec = HybridMemorySpec.for_footprint(trace.unique_pages)
+    pairs = list(trace.iter_pairs())
+
+    def run_policy():
+        policy = policy_factory("proposed")(MemoryManager(spec))
+        access = policy.access
+        for page, is_write in pairs:
+            access(page, is_write)
+        return policy
+
+    policy = benchmark.pedantic(run_policy, rounds=3, iterations=1)
+    assert policy.mm.accounting.total_requests == len(pairs)
+
+
+def test_clock_dwf_access_throughput(benchmark):
+    trace = zipf_workload(pages=2000, requests=50_000, seed=1)
+    spec = HybridMemorySpec.for_footprint(trace.unique_pages)
+    pairs = list(trace.iter_pairs())
+
+    def run_policy():
+        policy = policy_factory("clock-dwf")(MemoryManager(spec))
+        access = policy.access
+        for page, is_write in pairs:
+            access(page, is_write)
+        return policy
+
+    policy = benchmark.pedantic(run_policy, rounds=3, iterations=1)
+    assert policy.mm.accounting.total_requests == len(pairs)

@@ -1,0 +1,34 @@
+"""T-IV: regenerate Table IV (memory characteristics).
+
+Definitional: the table must print exactly the paper's constants.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table_iv
+from repro.memory.devices import dram_spec, pcm_spec
+
+
+def test_table_iv(benchmark, emit):
+    rows = benchmark(table_iv)
+    emit(render_table(
+        ["Memory", "Latency r/w (ns)", "Power r/w (nJ)",
+         "Static Power (J/GB.s)"],
+        rows,
+        title="Table IV: Memory Characteristics",
+    ))
+    assert rows[0] == ("DRAM", "50/50", "3.2/3.2", "1")
+    assert rows[1] == ("NVM (PCM)", "100/350", "6.4/32.0", "0.1")
+    # the relationships the paper's argument rests on
+    import pytest
+
+    assert pcm_spec().write_latency == pytest.approx(
+        7 * dram_spec().write_latency
+    )
+    assert pcm_spec().write_energy == pytest.approx(
+        10 * dram_spec().write_energy
+    )
+    assert pcm_spec().static_power_per_gb == pytest.approx(
+        dram_spec().static_power_per_gb / 10
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Endurance study: policy-level write reduction x device-level
+wear levelling.
+
+The paper attacks NVM lifetime from the policy side (fewer NVM writes);
+the device side attacks it with wear levelling (spreading whatever
+writes remain evenly).  This example combines both: it runs each
+policy on a write-heavy workload, extracts the per-page NVM write
+histogram, replays it through a Start-Gap wear leveller, and reports
+the combined lifetime picture.
+
+Run:  python examples/endurance_study.py
+"""
+
+import numpy as np
+
+from repro.experiments.report import render_table
+from repro.memory.wear_leveling import replay_writes
+from repro.mmu import simulate
+from repro.policies import policy_factory
+from repro.workloads import parsec_workload
+
+
+def main() -> None:
+    workload = parsec_workload("vips")  # 41% writes
+    print(f"workload: {workload.name} "
+          f"({workload.trace.write_ratio:.0%} writes)\n")
+
+    rows = []
+    for policy_name in ("nvm-only", "clock-dwf", "proposed"):
+        spec = workload.spec
+        if policy_name == "nvm-only":
+            spec = spec.as_nvm_only()
+        result = simulate(
+            workload.trace, spec, policy_factory(policy_name),
+            inter_request_gap=workload.inter_request_gap,
+            warmup_fraction=workload.warmup_fraction,
+        )
+        # expand the per-page histogram into a logical write stream
+        # (page identity -> logical frame by order of first wear)
+        page_ids = {page: index for index, page
+                    in enumerate(result.wear.page_writes)}
+        stream = []
+        for page, count in result.wear.page_writes.items():
+            stream.extend([page_ids[page]] * count)
+        # the histogram has no order; shuffle deterministically to
+        # restore the temporal interleaving real traffic has
+        rng = np.random.default_rng(0)
+        rng.shuffle(stream)
+        frames = max(len(page_ids), 1)
+        unlevelled = replay_writes(stream, frames)
+        levelled = replay_writes(stream, frames, gap_write_interval=4)
+        rows.append((
+            policy_name,
+            f"{result.nvm_writes.total:,}",
+            f"{unlevelled.max_frame_writes:,}",
+            f"{levelled.max_frame_writes:,}",
+            f"{unlevelled.imbalance:.1f}",
+            f"{levelled.imbalance:.1f}",
+            f"{levelled.lifetime_gain_over(unlevelled):.1f}x",
+        ))
+
+    print(render_table(
+        ["policy", "NVM writes", "max wear (raw)", "max wear (levelled)",
+         "imbalance raw", "imbalance lev.", "levelling gain"],
+        rows,
+        title="NVM wear: policy write-reduction x Start-Gap levelling",
+    ))
+    print()
+    print("Lifetime stacks multiplicatively: the proposed scheme writes")
+    print("less in total, and Start-Gap spreads what remains - the")
+    print("combination determines when the first cell wears out.")
+
+
+if __name__ == "__main__":
+    main()

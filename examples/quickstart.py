@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one PARSEC workload on three memory designs.
+
+Renders the ``dedup`` workload, sizes a hybrid memory by the paper's
+rule (memory = 75% of the footprint, DRAM = 10% of memory), and
+compares the proposed migration scheme against CLOCK-DWF and a
+DRAM-only baseline using the paper's AMAT and APPR models.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import parsec_workload, policy_factory, simulate
+from repro.experiments.report import render_table
+
+
+def main() -> None:
+    workload = parsec_workload("dedup")
+    print(f"workload: {workload.name}")
+    print(f"  requests: {len(workload.trace):,} "
+          f"({workload.trace.write_ratio:.0%} writes)")
+    print(f"  footprint: {workload.trace.unique_pages:,} pages")
+    print(f"  memory: {workload.spec.dram_pages} DRAM + "
+          f"{workload.spec.nvm_pages} NVM frames "
+          f"(PageFactor {workload.spec.page_factor})")
+    print()
+
+    rows = []
+    for policy_name in ("dram-only", "clock-dwf", "proposed"):
+        spec = workload.spec
+        if policy_name == "dram-only":
+            spec = spec.as_dram_only()
+        result = simulate(
+            workload.trace,
+            spec,
+            policy_factory(policy_name),
+            inter_request_gap=workload.inter_request_gap,
+            warmup_fraction=workload.warmup_fraction,
+        )
+        rows.append((
+            policy_name,
+            f"{result.performance.memory_time * 1e9:.1f}",
+            f"{result.power.appr * 1e9:.2f}",
+            f"{result.hit_ratio:.4f}",
+            f"{result.accounting.migrations_to_dram:,}",
+            f"{result.accounting.migrations_to_nvm:,}",
+            f"{result.nvm_writes.total:,}",
+        ))
+
+    print(render_table(
+        ["policy", "mem time (ns)", "APPR (nJ)", "hit ratio",
+         "promotions", "demotions", "NVM writes"],
+        rows,
+        title="dedup on three memory designs",
+    ))
+    print()
+    print("The proposed scheme keeps the hybrid's 80% static-power")
+    print("saving while avoiding CLOCK-DWF's migrate-on-every-write")
+    print("storms - compare the promotion counts above.")
+
+
+if __name__ == "__main__":
+    main()

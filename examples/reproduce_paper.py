@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full evaluation section in one run.
+
+Prints Tables II-IV and Figures 1, 2a-c and 4a-c as ASCII tables and
+stacked bars.  This is the same machinery the benchmark harness uses;
+expect roughly half a minute for the 12-workload x 4-policy grid.
+
+Run:  python examples/reproduce_paper.py [--fast]
+"""
+
+import argparse
+import time
+
+from repro.experiments.figures import FIGURE_BUILDERS
+from repro.experiments.report import render_figure, render_table
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import table_ii, table_iii, table_iv
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced trace scale (quick look)")
+    args = parser.parse_args()
+
+    if args.fast:
+        runner = ExperimentRunner(request_scale=1 / 2000,
+                                  footprint_scale=1 / 128)
+        table_kwargs = dict(request_scale=1 / 2000,
+                            footprint_scale=1 / 128)
+    else:
+        runner = ExperimentRunner()
+        table_kwargs = {}
+
+    started = time.perf_counter()
+
+    print(render_table(["Component", "Configuration"], table_ii(),
+                       title="Table II: simulated system"))
+    print()
+    print(render_table(
+        ["Memory", "Latency r/w (ns)", "Power r/w (nJ)",
+         "Static (J/GB.s)"],
+        table_iv(),
+        title="Table IV: memory characteristics",
+    ))
+    print()
+    rows = table_iii(**table_kwargs)
+    print(render_table(
+        ["Workload", "WSS KB (paper)", "write% (paper)", "write% (sim)",
+         "pages (sim)", "requests (sim)"],
+        [
+            (
+                row.workload,
+                f"{row.paper_wss_kb:,}",
+                f"{100 * row.paper_write_ratio:.1f}",
+                f"{100 * row.measured_write_ratio:.1f}",
+                f"{row.measured_wss_pages:,}",
+                f"{row.measured_reads + row.measured_writes:,}",
+            )
+            for row in rows
+        ],
+        title="Table III: workload characterisation (paper vs synthetic)",
+    ))
+
+    for figure_id in ("fig1", "fig2a", "fig2b", "fig2c",
+                      "fig4a", "fig4b", "fig4c"):
+        print()
+        print(render_figure(FIGURE_BUILDERS[figure_id](runner)))
+
+    elapsed = time.perf_counter() - started
+    print()
+    print(f"done in {elapsed:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: keeps ``pip install -e .`` working on offline
+machines where the PEP 660 editable path would need to download wheel."""
+
+from setuptools import setup
+
+setup()

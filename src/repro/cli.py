@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``workloads``
+    List the PARSEC profiles (Table III) with their scaled sizes.
+``policies``
+    List the registered placement policies.
+``characterize TRACE``
+    Print Table III-style statistics for a trace file (.trc or .npz).
+``simulate``
+    Run one policy over a workload (or trace file) and print the
+    paper's metrics.
+``figure ID``
+    Regenerate one paper figure (fig1, fig2a..fig4c) as ASCII bars.
+``tables``
+    Regenerate Tables II-IV.
+``sweep``
+    Run a threshold / window / DRAM-ratio sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.claims import claims_hold, verify_claims
+from repro.experiments.figures import FIGURE_BUILDERS
+from repro.experiments.report import render_figure, render_table
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweep import dram_ratio_sweep, threshold_sweep, window_sweep
+from repro.experiments.tables import table_ii, table_iii, table_iv
+from repro.memory.specs import HybridMemorySpec
+from repro.mmu.simulator import simulate
+from repro.policies.registry import available_policies, policy_factory
+from repro.trace.io import load_trace, read_text_trace
+from repro.trace.stats import characterize
+from repro.trace.trace import Trace
+from repro.workloads.parsec import PROFILES, WORKLOAD_NAMES, parsec_workload
+
+
+def _load_trace(path: str) -> Trace:
+    if path.endswith(".npz"):
+        return load_trace(path)
+    return read_text_trace(path)
+
+
+def _resolve_workload(args) -> tuple[Trace, HybridMemorySpec, float, float]:
+    """Trace + spec + gap + warmup from --workload or --trace."""
+    if args.trace:
+        trace = _load_trace(args.trace)
+        spec = HybridMemorySpec.for_footprint(max(trace.unique_pages, 2))
+        return trace, spec, 0.0, args.warmup
+    instance = parsec_workload(args.workload, seed=args.seed)
+    return (instance.trace, instance.spec, instance.inter_request_gap,
+            instance.warmup_fraction if args.warmup < 0 else args.warmup)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_workloads(args) -> int:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        profile = PROFILES[name]
+        rows.append((
+            name,
+            f"{profile.working_set_kb:,}",
+            f"{profile.total_requests:,}",
+            f"{100 * profile.write_ratio:.1f}%",
+            profile.description,
+        ))
+    print(render_table(
+        ["workload", "WSS (KB)", "requests (paper)", "writes",
+         "traits"],
+        rows,
+        title="PARSEC profiles (paper Table III)",
+    ))
+    return 0
+
+
+def _cmd_policies(args) -> int:
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    trace = _load_trace(args.trace)
+    stats = characterize(trace)
+    rows = [
+        ("name", stats.name),
+        ("requests", f"{stats.total_requests:,}"),
+        ("reads", f"{stats.read_requests:,} ({stats.read_ratio:.1%})"),
+        ("writes", f"{stats.write_requests:,} ({stats.write_ratio:.1%})"),
+        ("distinct pages", f"{stats.unique_pages:,}"),
+        ("working set", f"{stats.working_set_kb:,} KB"),
+        ("accesses/page", f"{stats.accesses_per_page:.1f}"),
+        ("top-decile share", f"{stats.top_decile_share:.2f}"),
+        ("median reuse distance", f"{stats.median_reuse_distance:.0f}"),
+        ("cold-page fraction", f"{stats.cold_page_fraction:.2f}"),
+        ("max burst", f"{stats.max_burst_length}"),
+    ]
+    print(render_table(["statistic", "value"], rows,
+                       title=f"characterisation of {args.trace}"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace, spec, gap, warmup = _resolve_workload(args)
+    if args.policy.startswith("dram-only"):
+        spec = spec.as_dram_only()
+    elif args.policy.startswith("nvm-only"):
+        spec = spec.as_nvm_only()
+    result = simulate(
+        trace, spec, policy_factory(args.policy),
+        inter_request_gap=gap, warmup_fraction=max(warmup, 0.0),
+    )
+    accounting = result.accounting
+    rows = [
+        ("workload", result.workload),
+        ("policy", result.policy),
+        ("requests (measured)", f"{accounting.total_requests:,}"),
+        ("hit ratio", f"{accounting.hit_ratio:.4f}"),
+        ("DRAM / NVM hit share",
+         f"{accounting.p_hit_dram:.3f} / {accounting.p_hit_nvm:.3f}"),
+        ("page faults", f"{accounting.page_faults:,}"),
+        ("promotions (NVM->DRAM)", f"{accounting.migrations_to_dram:,}"),
+        ("demotions (DRAM->NVM)", f"{accounting.migrations_to_nvm:,}"),
+        ("AMAT", f"{result.amat * 1e9:.1f} ns"),
+        ("memory time (no fault term)",
+         f"{result.performance.memory_time * 1e9:.1f} ns"),
+        ("APPR", f"{result.appr * 1e9:.2f} nJ"),
+        ("  static / dynamic / migration",
+         f"{result.power.static * 1e9:.2f} / "
+         f"{(result.power.dynamic_hit + result.power.fault_fill) * 1e9:.2f}"
+         f" / {result.power.migration * 1e9:.2f} nJ"),
+        ("NVM writes", f"{result.nvm_writes.total:,}"),
+        ("max page wear", f"{result.endurance.max_page_writes:,} writes"),
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title="simulation result"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    runner = ExperimentRunner(seed=args.seed)
+    if args.id == "all":
+        ids: Sequence[str] = sorted(FIGURE_BUILDERS)
+    elif args.id in FIGURE_BUILDERS:
+        ids = [args.id]
+    else:
+        known = ", ".join(sorted(FIGURE_BUILDERS)) + ", all"
+        print(f"unknown figure {args.id!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    for index, figure_id in enumerate(ids):
+        if index:
+            print()
+        print(render_figure(FIGURE_BUILDERS[figure_id](runner)))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    print(render_table(["Component", "Configuration"], table_ii(),
+                       title="Table II"))
+    print()
+    print(render_table(
+        ["Memory", "Latency r/w (ns)", "Power r/w (nJ)",
+         "Static (J/GB.s)"],
+        table_iv(), title="Table IV",
+    ))
+    print()
+    rows = table_iii(seed=args.seed)
+    print(render_table(
+        ["Workload", "WSS KB (paper)", "write% paper", "write% sim",
+         "pages sim"],
+        [
+            (row.workload, f"{row.paper_wss_kb:,}",
+             f"{100 * row.paper_write_ratio:.1f}",
+             f"{100 * row.measured_write_ratio:.1f}",
+             f"{row.measured_wss_pages:,}")
+            for row in rows
+        ],
+        title="Table III",
+    ))
+    return 0
+
+
+def _cmd_claims(args) -> int:
+    runner = ExperimentRunner(seed=args.seed)
+    results = verify_claims(runner)
+    print(render_table(
+        ["id", "ok", "claim", "paper", "measured"],
+        [
+            (r.claim_id, "PASS" if r.holds else "FAIL", r.statement,
+             r.paper_value, r.measured)
+            for r in results
+        ],
+        title="Paper-claim audit",
+    ))
+    passed = sum(1 for r in results if r.holds)
+    print(f"\n{passed}/{len(results)} claims hold")
+    return 0 if claims_hold(results) else 1
+
+
+def _cmd_sweep(args) -> int:
+    if args.kind == "threshold":
+        points = threshold_sweep(args.workload)
+    elif args.kind == "window":
+        points = window_sweep(args.workload)
+    else:
+        points = dram_ratio_sweep(args.workload)
+    print(render_table(
+        [points[0].parameter, "memory time (ns)", "APPR (nJ)",
+         "promotions", "demotions", "NVM writes"],
+        [
+            (f"{point.value:g}", f"{point.memory_time_ns:.1f}",
+             f"{point.appr_nj:.2f}", point.migrations_to_dram,
+             point.migrations_to_nvm, f"{point.nvm_writes:,}")
+            for point in points
+        ],
+        title=f"{args.kind} sweep on {args.workload}",
+    ))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid DRAM-NVM migration-scheme reproduction "
+                    "(Salkhordeh & Asadi, DATE 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list PARSEC profiles") \
+        .set_defaults(func=_cmd_workloads)
+    sub.add_parser("policies", help="list registered policies") \
+        .set_defaults(func=_cmd_policies)
+
+    p = sub.add_parser("characterize",
+                       help="Table III statistics for a trace file")
+    p.add_argument("trace", help=".trc or .npz trace file")
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("simulate", help="run one policy on a workload")
+    p.add_argument("--policy", default="proposed")
+    p.add_argument("--workload", default="dedup",
+                   choices=list(WORKLOAD_NAMES))
+    p.add_argument("--trace", default=None,
+                   help="trace file instead of a PARSEC workload")
+    p.add_argument("--warmup", type=float, default=-1.0,
+                   help="warm-up fraction (default: workload's own)")
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("id", help="fig1, fig2a..fig4c, or 'all'")
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("tables", help="regenerate Tables II-IV")
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("claims",
+                       help="audit every paper claim against the "
+                            "regenerated figures")
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=_cmd_claims)
+
+    p = sub.add_parser("sweep", help="parameter sweep")
+    p.add_argument("kind", choices=("threshold", "window", "dram-ratio"))
+    p.add_argument("--workload", default="raytrace",
+                   choices=list(WORKLOAD_NAMES))
+    p.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly the
+        # way well-behaved unix tools do.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""The paper's primary contribution: the OS-level migration scheme."""
+
+from repro.core.adaptive import AdaptiveMigrationPolicy
+from repro.core.config import (
+    DEFAULT_CONFIG,
+    EAGER_CONFIG,
+    RELUCTANT_CONFIG,
+    MigrationConfig,
+)
+from repro.core.lru import LRUNode, LRUQueue, PositionWindow
+from repro.core.migration import MigrationLRUPolicy
+
+__all__ = [
+    "AdaptiveMigrationPolicy",
+    "DEFAULT_CONFIG",
+    "EAGER_CONFIG",
+    "LRUNode",
+    "LRUQueue",
+    "MigrationConfig",
+    "MigrationLRUPolicy",
+    "PositionWindow",
+    "RELUCTANT_CONFIG",
+]

@@ -1,0 +1,115 @@
+"""Adaptive threshold prediction — the paper's "ongoing research" extension.
+
+Section V observes that raytrace's optimal ``read/write`` thresholds
+differ from the other workloads' and that "using adaptive threshold
+prediction can further improve the efficiency of the proposed scheme".
+This module implements that extension with a simple feedback controller:
+
+* When a promoted page is later demoted, compare the latency the page
+  actually saved while in DRAM (its DRAM hits times the per-access
+  DRAM-vs-NVM saving) against the round-trip migration cost.
+* A demotion that did not repay the round trip means the promotion was
+  non-beneficial: raise the threshold that triggered it.
+* A demotion that repaid it several times over means promotions are too
+  timid: lower that threshold.
+
+Thresholds move by one per decision and stay within configurable
+bounds, so the controller is stable and workload phases can re-tune it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import DEFAULT_CONFIG, MigrationConfig
+from repro.core.migration import MigrationLRUPolicy
+from repro.mmu.manager import MemoryManager
+
+
+@dataclass
+class _PromotionRecord:
+    trigger_is_write: bool
+    accesses_at_promotion: int
+    writes_at_promotion: int
+
+
+class AdaptiveMigrationPolicy(MigrationLRUPolicy):
+    """The proposed scheme with self-tuning promotion thresholds."""
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        mm: MemoryManager,
+        config: MigrationConfig = DEFAULT_CONFIG,
+        min_threshold: int = 1,
+        max_threshold: int = 128,
+        surplus_factor: float = 4.0,
+    ) -> None:
+        super().__init__(mm, config)
+        if min_threshold < 0 or max_threshold < min_threshold:
+            raise ValueError("need 0 <= min_threshold <= max_threshold")
+        if surplus_factor < 1.0:
+            raise ValueError("surplus_factor must be >= 1.0")
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.surplus_factor = surplus_factor
+        self._records: dict[int, _PromotionRecord] = {}
+        spec = mm.spec
+        self._round_trip_cost = (
+            spec.migration_latency_to_dram() + spec.migration_latency_to_nvm()
+        )
+        self._read_saving = spec.nvm.read_latency - spec.dram.read_latency
+        self._write_saving = spec.nvm.write_latency - spec.dram.write_latency
+        # Telemetry for reports and tests.
+        self.beneficial_promotions = 0
+        self.wasted_promotions = 0
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _on_promoted(self, page: int, trigger_is_write: bool) -> None:
+        entry = self.mm.page_table.lookup(page)
+        assert entry is not None
+        self._records[page] = _PromotionRecord(
+            trigger_is_write=trigger_is_write,
+            accesses_at_promotion=entry.access_count,
+            writes_at_promotion=entry.write_count,
+        )
+
+    def _on_demoted(self, page: int) -> None:
+        record = self._records.pop(page, None)
+        if record is None:
+            # The page reached DRAM through a fault, not a promotion.
+            return
+        entry = self.mm.page_table.lookup(page)
+        assert entry is not None
+        writes = entry.write_count - record.writes_at_promotion
+        reads = (
+            entry.access_count - record.accesses_at_promotion
+        ) - writes
+        saved = reads * self._read_saving + writes * self._write_saving
+        if saved < self._round_trip_cost:
+            self.wasted_promotions += 1
+            self._nudge(record.trigger_is_write, +1)
+        elif saved >= self.surplus_factor * self._round_trip_cost:
+            self.beneficial_promotions += 1
+            self._nudge(record.trigger_is_write, -1)
+        else:
+            self.beneficial_promotions += 1
+
+    def _nudge(self, is_write: bool, delta: int) -> None:
+        if is_write:
+            self.write_threshold = self._clamp(self.write_threshold + delta)
+        else:
+            self.read_threshold = self._clamp(self.read_threshold + delta)
+
+    def _clamp(self, value: int) -> int:
+        return max(self.min_threshold, min(self.max_threshold, value))
+
+    # ------------------------------------------------------------------
+    @property
+    def promotion_efficiency(self) -> float:
+        """Fraction of concluded promotions that repaid their migration."""
+        concluded = self.beneficial_promotions + self.wasted_promotions
+        return self.beneficial_promotions / concluded if concluded else 1.0

@@ -1,0 +1,154 @@
+"""The proposed data-migration scheme (paper Section IV, Algorithm 1).
+
+Two *unmodified* LRU queues manage the two memory modules; the scheme
+only decides when pages cross between them:
+
+* **Page faults fill DRAM** — the newly touched page is the likeliest
+  to be re-accessed, and landing it in NVM would cost an NVM page write
+  anyway once DRAM's eviction cascades (Section IV).
+* **DRAM evictions demote to NVM** (the demoted page enters the NVM
+  queue at its head, exactly as a plain LRU insert would).
+* **NVM evictions go to disk.**
+* **NVM hits are served in place**, and the page additionally earns a
+  read or write counter tick if it sits within the top
+  ``readperc``/``writeperc`` positions of the NVM queue.  Passing
+  ``read_threshold``/``write_threshold`` promotes the page to DRAM.
+  Counters reset when the page slips below its window, which filters
+  out both slowly-cycling cold pages and one-shot bursts (the two
+  failure modes Section IV calls out).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DEFAULT_CONFIG, MigrationConfig
+from repro.core.lru import LRUNode, LRUQueue
+from repro.mmu.manager import MemoryManager
+from repro.mmu.page import PageLocation
+from repro.policies.base import HybridMemoryPolicy
+
+
+class MigrationLRUPolicy(HybridMemoryPolicy):
+    """The paper's proposed scheme: two LRUs plus windowed hot counters."""
+
+    name = "proposed"
+
+    def __init__(
+        self,
+        mm: MemoryManager,
+        config: MigrationConfig = DEFAULT_CONFIG,
+    ) -> None:
+        super().__init__(mm)
+        self.config = config
+        # Thresholds live on the instance so adaptive subclasses can
+        # tune them during the run (paper Section V: "adaptive threshold
+        # prediction ... is part of our ongoing research").
+        self.read_threshold = config.read_threshold
+        self.write_threshold = config.write_threshold
+        self.dram_lru = LRUQueue()
+        self.nvm_lru = LRUQueue()
+        nvm_pages = mm.spec.nvm_pages
+        self.read_window = self.nvm_lru.add_window(
+            config.read_window_pages(nvm_pages), on_exit=self._reset_read
+        )
+        self.write_window = self.nvm_lru.add_window(
+            config.write_window_pages(nvm_pages), on_exit=self._reset_write
+        )
+
+    # ------------------------------------------------------------------
+    # Counter housekeeping (the paper's "additional information")
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reset_read(node: LRUNode) -> None:
+        node.read_counter = 0
+
+    @staticmethod
+    def _reset_write(node: LRUNode) -> None:
+        node.write_counter = 0
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def access(self, page: int, is_write: bool) -> None:
+        self.mm.record_request(is_write)
+        if page in self.dram_lru:
+            # Plain LRU housekeeping; DRAM needs no extra information.
+            self.dram_lru.touch(page)
+            self.mm.serve_hit(page, is_write)
+        elif page in self.nvm_lru:
+            self._nvm_hit(page, is_write)
+        else:
+            self._page_fault(page, is_write)
+
+    def _nvm_hit(self, page: int, is_write: bool) -> None:
+        node = self.nvm_lru.node(page)
+        window = self.write_window if is_write else self.read_window
+        was_inside = window.contains(node)
+        # Plain LRU housekeeping.  Moving the page to the front pushes
+        # the pages at the window boundaries one position deeper, which
+        # fires the counter resets of Algorithm 1 lines 8-9.
+        self.nvm_lru.touch(page)
+        self.mm.serve_hit(page, is_write)
+        # Algorithm 1 lines 10-22: tick the counter for the request's
+        # direction, restarting it if the page was outside the window.
+        if is_write:
+            node.write_counter = node.write_counter + 1 if was_inside else 1
+            counter = node.write_counter
+            threshold = self.write_threshold
+        else:
+            node.read_counter = node.read_counter + 1 if was_inside else 1
+            counter = node.read_counter
+            threshold = self.read_threshold
+        # Algorithm 1 lines 23-25: promote once the page proves hot.
+        if counter > threshold:
+            self._promote(page, trigger_is_write=is_write)
+
+    def _promote(self, page: int, trigger_is_write: bool) -> None:
+        """Migrate a hot NVM page to DRAM, demoting DRAM's LRU victim."""
+        self.nvm_lru.remove(page)
+        if self.mm.has_free(PageLocation.DRAM):
+            self.mm.migrate(page, PageLocation.DRAM)
+        else:
+            victim = self.dram_lru.pop_lru()
+            self.mm.swap(page, victim.page)
+            self.nvm_lru.push_front(victim.page)
+            self._on_demoted(victim.page)
+        self.dram_lru.push_front(page)
+        self._on_promoted(page, trigger_is_write)
+
+    def _page_fault(self, page: int, is_write: bool) -> None:
+        """Algorithm 1 lines 27-28: fill from disk into DRAM."""
+        if not self.mm.has_free(PageLocation.DRAM):
+            self._demote_dram_victim()
+        self.mm.fault_fill(page, PageLocation.DRAM, is_write)
+        self.dram_lru.push_front(page)
+
+    def _demote_dram_victim(self) -> None:
+        """Demote DRAM's LRU page to NVM, evicting NVM's LRU if needed."""
+        if not self.mm.has_free(PageLocation.NVM):
+            nvm_victim = self.nvm_lru.pop_lru()
+            self.mm.evict_to_disk(nvm_victim.page)
+        victim = self.dram_lru.pop_lru()
+        self.mm.migrate(victim.page, PageLocation.NVM)
+        self.nvm_lru.push_front(victim.page)
+        self._on_demoted(victim.page)
+
+    # ------------------------------------------------------------------
+    # Hooks for adaptive subclasses
+    # ------------------------------------------------------------------
+    def _on_promoted(self, page: int, trigger_is_write: bool) -> None:
+        """Called after a page migrates NVM -> DRAM."""
+
+    def _on_demoted(self, page: int) -> None:
+        """Called after a page migrates DRAM -> NVM."""
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        super().validate()
+        self.dram_lru.check()
+        self.nvm_lru.check()
+        dram_pages = set(self.mm.page_table.pages_in(PageLocation.DRAM))
+        nvm_pages = set(self.mm.page_table.pages_in(PageLocation.NVM))
+        if dram_pages != set(self.dram_lru.pages()):
+            raise AssertionError("DRAM queue out of sync with page table")
+        if nvm_pages != set(self.nvm_lru.pages()):
+            raise AssertionError("NVM queue out of sync with page table")

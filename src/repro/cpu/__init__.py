@@ -1,0 +1,27 @@
+"""COTSon-substitute CPU layer: caches, hierarchy, trace filtering."""
+
+from repro.cpu.cache import CacheGeometry, CacheStats, SetAssociativeCache
+from repro.cpu.filter import filter_trace
+from repro.cpu.hierarchy import (
+    COTSON_CORES,
+    L1_GEOMETRY,
+    LLC_GEOMETRY,
+    CacheHierarchy,
+    HierarchyStats,
+    cotson_hierarchy,
+)
+from repro.cpu.multicore import synthesize_cpu_trace
+
+__all__ = [
+    "COTSON_CORES",
+    "CacheGeometry",
+    "CacheHierarchy",
+    "CacheStats",
+    "HierarchyStats",
+    "L1_GEOMETRY",
+    "LLC_GEOMETRY",
+    "SetAssociativeCache",
+    "cotson_hierarchy",
+    "filter_trace",
+    "synthesize_cpu_trace",
+]

@@ -1,0 +1,88 @@
+"""Evaluation harness: runners, figure/table builders, sweeps, reports."""
+
+from repro.experiments.figures import (
+    FIGURE_BUILDERS,
+    build_figure,
+    figure_1,
+    figure_2a,
+    figure_2b,
+    figure_2c,
+    figure_4a,
+    figure_4b,
+    figure_4c,
+)
+from repro.experiments.claims import ClaimResult, claims_hold, verify_claims
+from repro.experiments.export import (
+    figure_to_rows,
+    load_figure_json,
+    write_figure_csv,
+    write_figure_json,
+    write_sweep_csv,
+)
+from repro.experiments.report import figure_summary, render_figure, render_table
+from repro.experiments.results import (
+    ARITH_MEAN_LABEL,
+    GEO_MEAN_LABEL,
+    FigureData,
+    StackedBar,
+    WorkloadRuns,
+    arith_mean,
+    geo_mean,
+)
+from repro.experiments.runner import (
+    CORE_POLICIES,
+    ExperimentRunner,
+    default_runner,
+)
+from repro.experiments.sweep import (
+    AdaptiveComparison,
+    SweepPoint,
+    adaptive_comparison,
+    dram_ratio_sweep,
+    threshold_sweep,
+    window_sweep,
+)
+from repro.experiments.tables import TableIIIRow, table_ii, table_iii, table_iv
+
+__all__ = [
+    "ARITH_MEAN_LABEL",
+    "ClaimResult",
+    "claims_hold",
+    "verify_claims",
+    "AdaptiveComparison",
+    "CORE_POLICIES",
+    "ExperimentRunner",
+    "FIGURE_BUILDERS",
+    "FigureData",
+    "GEO_MEAN_LABEL",
+    "StackedBar",
+    "SweepPoint",
+    "TableIIIRow",
+    "WorkloadRuns",
+    "adaptive_comparison",
+    "arith_mean",
+    "build_figure",
+    "default_runner",
+    "dram_ratio_sweep",
+    "figure_1",
+    "figure_2a",
+    "figure_2b",
+    "figure_2c",
+    "figure_4a",
+    "figure_4b",
+    "figure_4c",
+    "figure_summary",
+    "figure_to_rows",
+    "geo_mean",
+    "load_figure_json",
+    "render_figure",
+    "render_table",
+    "table_ii",
+    "table_iii",
+    "table_iv",
+    "threshold_sweep",
+    "window_sweep",
+    "write_figure_csv",
+    "write_figure_json",
+    "write_sweep_csv",
+]

@@ -1,0 +1,94 @@
+"""Export regenerated artifacts to CSV/JSON for external plotting.
+
+The ASCII reports are for terminals; these writers emit the same data
+in machine-readable form so the figures can be replotted with any
+charting tool (each CSV row is one bar, each column one stacked
+segment).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.results import FigureData
+from repro.experiments.sweep import SweepPoint
+
+
+def figure_to_rows(figure: FigureData) -> list[dict[str, object]]:
+    """Flatten a figure into one dict per bar."""
+    rows: list[dict[str, object]] = []
+    for bar in figure.bars:
+        row: dict[str, object] = {
+            "figure": figure.figure_id,
+            "label": bar.label,
+            "group": bar.group,
+            "total": bar.total,
+        }
+        for name in figure.series_order:
+            row[name] = bar.segments.get(name, 0.0)
+        rows.append(row)
+    return rows
+
+
+def write_figure_csv(figure: FigureData,
+                     path: str | os.PathLike[str]) -> None:
+    """Write a figure as CSV (one row per bar)."""
+    rows = figure_to_rows(figure)
+    fieldnames = (["figure", "label", "group", "total"]
+                  + list(figure.series_order))
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_figure_json(figure: FigureData,
+                      path: str | os.PathLike[str]) -> None:
+    """Write a figure as JSON (metadata + bars)."""
+    document = {
+        "figure": figure.figure_id,
+        "title": figure.title,
+        "ylabel": figure.ylabel,
+        "series": list(figure.series_order),
+        "bars": figure_to_rows(figure),
+    }
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+
+
+def write_sweep_csv(points: Sequence[SweepPoint],
+                    path: str | os.PathLike[str]) -> None:
+    """Write sweep points as CSV (one row per sample)."""
+    fieldnames = [
+        "parameter", "value", "amat_ns", "memory_time_ns", "appr_nj",
+        "nvm_writes", "migrations_to_dram", "migrations_to_nvm",
+    ]
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for point in points:
+            writer.writerow({name: getattr(point, name)
+                             for name in fieldnames})
+
+
+def load_figure_json(path: str | os.PathLike[str]) -> FigureData:
+    """Rebuild a :class:`FigureData` from :func:`write_figure_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    figure = FigureData(
+        figure_id=document["figure"],
+        title=document["title"],
+        ylabel=document["ylabel"],
+        series_order=tuple(document["series"]),
+    )
+    for row in document["bars"]:
+        figure.add_bar(
+            row["label"],
+            group=row.get("group", ""),
+            **{name: row[name] for name in document["series"]},
+        )
+    return figure

@@ -1,0 +1,229 @@
+"""Builders for every evaluation figure in the paper.
+
+Each function turns cached runs into a :class:`FigureData` whose bars
+carry the same stacked components and the same normalisation as the
+corresponding paper panel:
+
+* **Fig. 1** — DRAM-only power breakdown (static / dynamic / page
+  fault), each bar normalised to its own total.
+* **Fig. 2a / 4a** — power normalised to the DRAM-only memory
+  (static / dynamic / migration; fault-fill energy counts as dynamic,
+  matching the paper's three-way legend).
+* **Fig. 2b / 4c** — AMAT normalised to a baseline ("Read/Write
+  Requests" vs "Migrations"; the disk-fault term is excluded on both
+  sides — the paper's AMAT panels stack only these two components
+  because hit ratios, and hence fault rates, are essentially equal
+  across policies at the same capacity).
+* **Fig. 2c / 4b** — physical NVM writes normalised to the NVM-only
+  memory (page-fault fills vs migrations vs served write requests).
+
+Every figure ends with the paper's G-Mean and A-Mean bars.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.results import FigureData, WorkloadRuns
+from repro.experiments.runner import ExperimentRunner
+from repro.mmu.simulator import RunResult
+
+
+def _grid(runner: ExperimentRunner,
+          policies: tuple[str, ...]) -> dict[str, WorkloadRuns]:
+    return runner.grid(policies=policies)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1
+# ----------------------------------------------------------------------
+def figure_1(runner: ExperimentRunner) -> FigureData:
+    """DRAM-only power breakdown per workload (each bar sums to 1)."""
+    figure = FigureData(
+        figure_id="fig1",
+        title="DRAM Power Breakdown",
+        ylabel="Normalized Power Consumption",
+        series_order=("Static", "Dynamic", "Page Fault"),
+    )
+    for name, runs in _grid(runner, ("dram-only",)).items():
+        power = runs["dram-only"].power
+        total = power.appr or 1.0
+        figure.add_bar(
+            name,
+            **{
+                "Static": power.static / total,
+                "Dynamic": power.dynamic_hit / total,
+                "Page Fault": power.fault_fill / total,
+            },
+        )
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Power figures (2a, 4a)
+# ----------------------------------------------------------------------
+def _power_bar(run: RunResult, baseline: RunResult) -> dict[str, float]:
+    base = baseline.power.appr or 1.0
+    power = run.power
+    return {
+        "Static": power.static / base,
+        "Dynamic": (power.dynamic_hit + power.fault_fill) / base,
+        "Migration": power.migration / base,
+    }
+
+
+def figure_2a(runner: ExperimentRunner) -> FigureData:
+    """CLOCK-DWF power breakdown normalised to DRAM-only power."""
+    figure = FigureData(
+        figure_id="fig2a",
+        title="CLOCK-DWF Power Breakdown Normalized to DRAM",
+        ylabel="Normalized Power Consumption",
+        series_order=("Static", "Dynamic", "Migration"),
+    )
+    for name, runs in _grid(runner, ("dram-only", "clock-dwf")).items():
+        figure.add_bar(name, **_power_bar(runs["clock-dwf"],
+                                          runs["dram-only"]))
+    figure.append_means()
+    return figure
+
+
+def figure_4a(runner: ExperimentRunner) -> FigureData:
+    """Power of CLOCK-DWF (left) and the proposed scheme (right),
+    both normalised to DRAM-only power."""
+    figure = FigureData(
+        figure_id="fig4a",
+        title="Power Breakdown of CLOCK-DWF and Proposed Scheme "
+              "Normalized to DRAM",
+        ylabel="Normalized Power Consumption",
+        series_order=("Static", "Dynamic", "Migration"),
+    )
+    grid = _grid(runner, ("dram-only", "clock-dwf", "proposed"))
+    for policy in ("clock-dwf", "proposed"):
+        for name, runs in grid.items():
+            figure.add_bar(name, group=policy,
+                           **_power_bar(runs[policy], runs["dram-only"]))
+    figure.append_means()
+    return figure
+
+
+# ----------------------------------------------------------------------
+# AMAT figures (2b, 4c)
+# ----------------------------------------------------------------------
+def _amat_bar(run: RunResult, baseline_time: float) -> dict[str, float]:
+    performance = run.performance
+    base = baseline_time or 1.0
+    return {
+        "Read/Write Requests": performance.request_time / base,
+        "Migrations": performance.migration_time / base,
+    }
+
+
+def figure_2b(runner: ExperimentRunner) -> FigureData:
+    """CLOCK-DWF AMAT normalised to DRAM-only."""
+    figure = FigureData(
+        figure_id="fig2b",
+        title="Normalized AMAT of CLOCK-DWF Compared to DRAM-Only Memory",
+        ylabel="Normalized AMAT",
+        series_order=("Read/Write Requests", "Migrations"),
+    )
+    for name, runs in _grid(runner, ("dram-only", "clock-dwf")).items():
+        base = runs["dram-only"].performance.memory_time
+        figure.add_bar(name, **_amat_bar(runs["clock-dwf"], base))
+    figure.append_means()
+    return figure
+
+
+def figure_4c(runner: ExperimentRunner) -> FigureData:
+    """Proposed scheme AMAT normalised to CLOCK-DWF."""
+    figure = FigureData(
+        figure_id="fig4c",
+        title="Normalized AMAT of the Proposed Scheme Compared to "
+              "CLOCK-DWF",
+        ylabel="Normalized AMAT",
+        series_order=("Read/Write Requests", "Migrations"),
+    )
+    for name, runs in _grid(runner, ("clock-dwf", "proposed")).items():
+        base = runs["clock-dwf"].performance.memory_time
+        figure.add_bar(name, **_amat_bar(runs["proposed"], base))
+    figure.append_means()
+    return figure
+
+
+# ----------------------------------------------------------------------
+# NVM-write figures (2c, 4b)
+# ----------------------------------------------------------------------
+def _writes_bar(run: RunResult, baseline: RunResult) -> dict[str, float] | None:
+    """One Fig. 2c/4b bar, or ``None`` when the baseline is degenerate.
+
+    A read-only workload (blackscholes) does essentially zero NVM
+    writes even on the NVM-only baseline once warm, so its normalised
+    bar is meaningless; such workloads are skipped with a note instead
+    of plotted against a zero denominator.
+    """
+    base = baseline.nvm_writes.total
+    if base == 0:
+        return None
+    writes = run.nvm_writes
+    return {
+        "Read/Write Requests": writes.request_writes / base,
+        "Page Fault": writes.fault_fill_writes / base,
+        "Migration": writes.migration_writes / base,
+    }
+
+
+def figure_2c(runner: ExperimentRunner) -> FigureData:
+    """CLOCK-DWF NVM writes normalised to NVM-only."""
+    figure = FigureData(
+        figure_id="fig2c",
+        title="Number of Writes in CLOCK-DWF Normalized to NVM-Only "
+              "Memory",
+        ylabel="Normalized Number of Writes",
+        series_order=("Read/Write Requests", "Page Fault", "Migration"),
+    )
+    for name, runs in _grid(runner, ("nvm-only", "clock-dwf")).items():
+        segments = _writes_bar(runs["clock-dwf"], runs["nvm-only"])
+        if segments is not None:
+            figure.add_bar(name, **segments)
+    figure.append_means()
+    return figure
+
+
+def figure_4b(runner: ExperimentRunner) -> FigureData:
+    """NVM writes of CLOCK-DWF (left) and the proposed scheme (right),
+    both normalised to NVM-only."""
+    figure = FigureData(
+        figure_id="fig4b",
+        title="Number of Writes in CLOCK-DWF and Proposed Scheme "
+              "Normalized to NVM-Only Memory",
+        ylabel="Normalized Number of Writes",
+        series_order=("Read/Write Requests", "Page Fault", "Migration"),
+    )
+    grid = _grid(runner, ("nvm-only", "clock-dwf", "proposed"))
+    for policy in ("clock-dwf", "proposed"):
+        for name, runs in grid.items():
+            segments = _writes_bar(runs[policy], runs["nvm-only"])
+            if segments is not None:
+                figure.add_bar(name, group=policy, **segments)
+    figure.append_means()
+    return figure
+
+
+#: Figure registry for the CLI/bench harness.
+FIGURE_BUILDERS = {
+    "fig1": figure_1,
+    "fig2a": figure_2a,
+    "fig2b": figure_2b,
+    "fig2c": figure_2c,
+    "fig4a": figure_4a,
+    "fig4b": figure_4b,
+    "fig4c": figure_4c,
+}
+
+
+def build_figure(figure_id: str, runner: ExperimentRunner) -> FigureData:
+    """Regenerate one paper figure by id (``fig1`` .. ``fig4c``)."""
+    try:
+        builder = FIGURE_BUILDERS[figure_id]
+    except KeyError:
+        known = ", ".join(sorted(FIGURE_BUILDERS))
+        raise KeyError(f"unknown figure {figure_id!r}; known: {known}") \
+            from None
+    return builder(runner)

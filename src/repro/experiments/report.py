@@ -1,0 +1,90 @@
+"""Plain-text rendering of tables and stacked-bar figures.
+
+The benchmark harness prints every regenerated table and figure through
+these helpers, so a terminal run of the benchmarks reproduces the
+paper's evaluation section as readable ASCII.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.results import FigureData
+
+BAR_WIDTH = 40
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]),
+            *(len(row[column]) for row in cells)) if cells
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    def _line(values: Sequence[str]) -> str:
+        return " | ".join(
+            value.ljust(width) for value, width in zip(values, widths)
+        ).rstrip()
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_line(list(headers)))
+    lines.append(separator)
+    lines.extend(_line(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureData, bar_width: int = BAR_WIDTH) -> str:
+    """Horizontal stacked bars with one character block per segment.
+
+    Bars are scaled to the largest total; each segment prints with its
+    own fill character, followed by the exact numbers.
+    """
+    fills = "#=+*o%"
+    lines = [f"{figure.figure_id}: {figure.title}",
+             f"  ({figure.ylabel})"]
+    legend = "  ".join(
+        f"[{fills[index % len(fills)]}] {name}"
+        for index, name in enumerate(figure.series_order)
+    )
+    lines.append(f"  {legend}")
+    max_total = max((bar.total for bar in figure.bars), default=1.0) or 1.0
+    label_width = max((len(_bar_label(bar.label, bar.group))
+                       for bar in figure.bars), default=8)
+    for bar in figure.bars:
+        blocks = []
+        for index, name in enumerate(figure.series_order):
+            value = bar.segments.get(name, 0.0)
+            count = int(round(bar_width * value / max_total))
+            blocks.append(fills[index % len(fills)] * count)
+        label = _bar_label(bar.label, bar.group).ljust(label_width)
+        numbers = " ".join(
+            f"{name}={bar.segments.get(name, 0.0):.3f}"
+            for name in figure.series_order
+            if bar.segments.get(name, 0.0) > 0.0005
+        )
+        lines.append(
+            f"  {label} |{''.join(blocks)}| {bar.total:7.3f}  ({numbers})"
+        )
+    return "\n".join(lines)
+
+
+def _bar_label(label: str, group: str) -> str:
+    return f"{label}/{group}" if group else label
+
+
+def figure_summary(figure: FigureData) -> str:
+    """One-line totals per bar (compact regression log format)."""
+    parts = [
+        f"{_bar_label(bar.label, bar.group)}={bar.total:.3f}"
+        for bar in figure.bars
+    ]
+    return f"{figure.figure_id}: " + " ".join(parts)

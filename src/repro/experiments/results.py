@@ -1,0 +1,129 @@
+"""Result containers and the paper's aggregation conventions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.mmu.simulator import RunResult
+
+#: Labels the paper uses for its aggregate bars (Section V: "average
+#: numbers reported throughout the paper are geometric means").
+GEO_MEAN_LABEL = "G-Mean"
+ARITH_MEAN_LABEL = "A-Mean"
+
+
+def geo_mean(values: Iterable[float]) -> float:
+    """Geometric mean; zero/negative entries are floored at a tiny
+    positive value so a single empty bar cannot zero the aggregate."""
+    logs = [math.log(max(value, 1e-12)) for value in values]
+    if not logs:
+        return 0.0
+    return math.exp(sum(logs) / len(logs))
+
+
+def arith_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class StackedBar:
+    """One figure bar: a label plus named stacked segments."""
+
+    label: str
+    segments: Mapping[str, float]
+    group: str = ""
+
+    @property
+    def total(self) -> float:
+        return sum(self.segments.values())
+
+
+@dataclass
+class FigureData:
+    """A regenerated paper figure: titled stacked bars plus means.
+
+    ``series_order`` fixes segment stacking order (bottom-up), matching
+    the paper's legends.
+    """
+
+    figure_id: str
+    title: str
+    ylabel: str
+    series_order: tuple[str, ...]
+    bars: list[StackedBar] = field(default_factory=list)
+
+    def add_bar(self, label: str, group: str = "",
+                **segments: float) -> None:
+        unknown = set(segments) - set(self.series_order)
+        if unknown:
+            raise ValueError(f"unknown segments {sorted(unknown)}")
+        self.bars.append(StackedBar(label, dict(segments), group=group))
+
+    def totals(self, group: str | None = None) -> dict[str, float]:
+        """Per-label bar totals (optionally one group only)."""
+        return {
+            bar.label: bar.total
+            for bar in self.bars
+            if group is None or bar.group == group
+        }
+
+    def append_means(self) -> None:
+        """Add the paper's G-Mean / A-Mean bars, per group.
+
+        Mean bars preserve the segment structure by averaging each
+        segment's *share* scaled to the mean total.
+        """
+        groups = sorted({bar.group for bar in self.bars})
+        mean_bars: list[StackedBar] = []
+        for group in groups:
+            bars = [bar for bar in self.bars if bar.group == group]
+            if not bars:
+                continue
+            totals = [bar.total for bar in bars]
+            for label, mean_total in (
+                (GEO_MEAN_LABEL, geo_mean(totals)),
+                (ARITH_MEAN_LABEL, arith_mean(totals)),
+            ):
+                segment_sums = {
+                    name: sum(bar.segments.get(name, 0.0) for bar in bars)
+                    for name in self.series_order
+                }
+                grand = sum(segment_sums.values()) or 1.0
+                mean_bars.append(StackedBar(
+                    label,
+                    {
+                        name: mean_total * value / grand
+                        for name, value in segment_sums.items()
+                    },
+                    group=group,
+                ))
+        self.bars.extend(mean_bars)
+
+    def mean_total(self, label: str = GEO_MEAN_LABEL,
+                   group: str = "") -> float:
+        for bar in self.bars:
+            if bar.label == label and bar.group == group:
+                return bar.total
+        raise KeyError(f"no {label!r} bar in group {group!r}; "
+                       "call append_means() first")
+
+
+@dataclass(frozen=True)
+class WorkloadRuns:
+    """All policy runs plus baselines for one workload."""
+
+    workload: str
+    runs: Mapping[str, RunResult]
+
+    def __getitem__(self, policy: str) -> RunResult:
+        return self.runs[policy]
+
+    def __contains__(self, policy: str) -> bool:
+        return policy in self.runs
+
+    @property
+    def policies(self) -> list[str]:
+        return list(self.runs)

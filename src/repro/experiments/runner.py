@@ -1,0 +1,108 @@
+"""Experiment runner: policy x workload grids with caching.
+
+The figure builders all need the same underlying runs (the proposed
+scheme, CLOCK-DWF and the two homogeneous baselines over the twelve
+PARSEC workloads), so the runner renders each workload once and caches
+every simulation result.
+"""
+
+from __future__ import annotations
+
+from repro.mmu.simulator import HybridMemorySimulator, RunResult
+from repro.policies.registry import policy_factory
+from repro.workloads.parsec import (
+    DEFAULT_FOOTPRINT_SCALE,
+    DEFAULT_REQUEST_SCALE,
+    WORKLOAD_NAMES,
+    WorkloadInstance,
+    parsec_workload,
+)
+from repro.experiments.results import WorkloadRuns
+
+#: The four runs every paper figure draws on.
+CORE_POLICIES = ("dram-only", "nvm-only", "clock-dwf", "proposed")
+
+
+class ExperimentRunner:
+    """Runs and caches (workload, policy) simulations at one scale."""
+
+    def __init__(
+        self,
+        request_scale: float = DEFAULT_REQUEST_SCALE,
+        footprint_scale: float = DEFAULT_FOOTPRINT_SCALE,
+        seed: int = 2016,
+        workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    ) -> None:
+        self.request_scale = request_scale
+        self.footprint_scale = footprint_scale
+        self.seed = seed
+        self.workload_names = workloads
+        self._instances: dict[str, WorkloadInstance] = {}
+        self._runs: dict[tuple[str, str], RunResult] = {}
+
+    # ------------------------------------------------------------------
+    def workload(self, name: str) -> WorkloadInstance:
+        """The rendered workload (cached)."""
+        if name not in self._instances:
+            self._instances[name] = parsec_workload(
+                name,
+                request_scale=self.request_scale,
+                footprint_scale=self.footprint_scale,
+                seed=self.seed,
+            )
+        return self._instances[name]
+
+    def run(self, workload_name: str, policy_name: str) -> RunResult:
+        """Simulate one policy on one workload (cached).
+
+        The homogeneous baselines run on the same *total* capacity with
+        all frames moved to one module, exactly as the paper's
+        normalisations require.
+        """
+        key = (workload_name, policy_name)
+        if key not in self._runs:
+            instance = self.workload(workload_name)
+            spec = instance.spec
+            if policy_name.startswith("dram-only"):
+                spec = spec.as_dram_only()
+            elif policy_name.startswith("nvm-only"):
+                spec = spec.as_nvm_only()
+            simulator = HybridMemorySimulator(
+                spec,
+                policy_factory(policy_name),
+                inter_request_gap=instance.inter_request_gap,
+            )
+            self._runs[key] = simulator.run(
+                instance.trace, warmup_fraction=instance.warmup_fraction
+            )
+        return self._runs[key]
+
+    def runs_for(self, workload_name: str,
+                 policies: tuple[str, ...] = CORE_POLICIES) -> WorkloadRuns:
+        """All requested policy runs for one workload."""
+        return WorkloadRuns(
+            workload=workload_name,
+            runs={policy: self.run(workload_name, policy)
+                  for policy in policies},
+        )
+
+    def grid(self, policies: tuple[str, ...] = CORE_POLICIES,
+             workloads: tuple[str, ...] | None = None,
+             ) -> dict[str, WorkloadRuns]:
+        """The full policy x workload grid (cached per cell)."""
+        return {
+            name: self.runs_for(name, policies)
+            for name in (workloads or self.workload_names)
+        }
+
+
+#: Process-wide default runner so benchmarks share one cache.
+_default_runner: ExperimentRunner | None = None
+
+
+def default_runner() -> ExperimentRunner:
+    """A shared runner instance (benchmarks reuse its cached runs)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = ExperimentRunner()
+    return _default_runner

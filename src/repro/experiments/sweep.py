@@ -1,0 +1,166 @@
+"""Parameter sweeps: the ablation studies DESIGN.md calls out.
+
+Each sweep runs the proposed scheme across one knob — promotion
+thresholds (A-1), counter-window size (A-2), DRAM share (A-3) — and the
+adaptive-threshold extension study (A-4), returning per-point metric
+rows suitable for table rendering and shape assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.adaptive import AdaptiveMigrationPolicy
+from repro.core.config import MigrationConfig
+from repro.mmu.simulator import HybridMemorySimulator, RunResult
+from repro.policies.registry import policy_factory, proposed_with
+from repro.workloads.parsec import WorkloadInstance, parsec_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the knob value and the metrics it produced."""
+
+    parameter: str
+    value: float
+    amat_ns: float
+    memory_time_ns: float
+    appr_nj: float
+    nvm_writes: int
+    migrations_to_dram: int
+    migrations_to_nvm: int
+
+    @classmethod
+    def from_run(cls, parameter: str, value: float,
+                 run: RunResult) -> "SweepPoint":
+        return cls(
+            parameter=parameter,
+            value=value,
+            amat_ns=run.performance.amat * 1e9,
+            memory_time_ns=run.performance.memory_time * 1e9,
+            appr_nj=run.power.appr * 1e9,
+            nvm_writes=run.nvm_writes.total,
+            migrations_to_dram=run.accounting.migrations_to_dram,
+            migrations_to_nvm=run.accounting.migrations_to_nvm,
+        )
+
+
+def _simulate(instance: WorkloadInstance, factory,
+              spec=None) -> RunResult:
+    simulator = HybridMemorySimulator(
+        spec or instance.spec,
+        factory,
+        inter_request_gap=instance.inter_request_gap,
+    )
+    return simulator.run(instance.trace,
+                         warmup_fraction=instance.warmup_fraction)
+
+
+def threshold_sweep(
+    workload: str = "raytrace",
+    thresholds: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    base_config: MigrationConfig | None = None,
+    seed: int = 2016,
+) -> list[SweepPoint]:
+    """Sweep both promotion thresholds together (A-1).
+
+    The write threshold tracks at half the read threshold, preserving
+    the scheme's write-priority rule.
+    """
+    base = base_config or MigrationConfig()
+    instance = parsec_workload(workload, seed=seed)
+    points = []
+    for threshold in thresholds:
+        config = MigrationConfig(
+            read_window_fraction=base.read_window_fraction,
+            write_window_fraction=base.write_window_fraction,
+            read_threshold=threshold,
+            write_threshold=max(1, threshold // 2),
+        )
+        run = _simulate(instance, proposed_with(config))
+        points.append(SweepPoint.from_run("read_threshold", threshold, run))
+    return points
+
+
+def window_sweep(
+    workload: str = "dedup",
+    fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+    seed: int = 2016,
+) -> list[SweepPoint]:
+    """Sweep the counter-window size (A-2); the write window tracks at
+    1.5x the read window, capped at the whole queue."""
+    base = MigrationConfig()
+    instance = parsec_workload(workload, seed=seed)
+    points = []
+    for fraction in fractions:
+        config = MigrationConfig(
+            read_window_fraction=fraction,
+            write_window_fraction=min(1.0, fraction * 1.5),
+            read_threshold=base.read_threshold,
+            write_threshold=base.write_threshold,
+        )
+        run = _simulate(instance, proposed_with(config))
+        points.append(SweepPoint.from_run("read_window_fraction",
+                                          fraction, run))
+    return points
+
+
+def dram_ratio_sweep(
+    workload: str = "dedup",
+    ratios: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.5),
+    seed: int = 2016,
+) -> list[SweepPoint]:
+    """Sweep DRAM's share of the hybrid memory (A-3)."""
+    instance = parsec_workload(workload, seed=seed)
+    points = []
+    for ratio in ratios:
+        spec = instance.spec.with_dram_fraction(ratio)
+        run = _simulate(instance, policy_factory("proposed"), spec=spec)
+        points.append(SweepPoint.from_run("dram_fraction", ratio, run))
+    return points
+
+
+@dataclass(frozen=True)
+class AdaptiveComparison:
+    """Fixed-threshold vs adaptive-threshold outcome on one workload."""
+
+    workload: str
+    fixed: SweepPoint
+    adaptive: SweepPoint
+    final_read_threshold: int
+    final_write_threshold: int
+    promotion_efficiency: float
+
+    @property
+    def amat_improvement(self) -> float:
+        """Relative memory-time gain of adaptive over fixed (+ = better)."""
+        if self.fixed.memory_time_ns == 0:
+            return 0.0
+        return 1.0 - self.adaptive.memory_time_ns / self.fixed.memory_time_ns
+
+
+def adaptive_comparison(workload: str = "raytrace",
+                        seed: int = 2016) -> AdaptiveComparison:
+    """Run the A-4 extension study: does adaptation help the workloads
+    whose optimal thresholds differ (Section V-B's raytrace remark)?"""
+    instance = parsec_workload(workload, seed=seed)
+    fixed_run = _simulate(instance, policy_factory("proposed"))
+
+    adaptive_policy_box: list[AdaptiveMigrationPolicy] = []
+
+    def adaptive_factory(mm):
+        policy = AdaptiveMigrationPolicy(mm)
+        adaptive_policy_box.append(policy)
+        return policy
+
+    adaptive_run = _simulate(instance, adaptive_factory)
+    policy = adaptive_policy_box[0]
+    return AdaptiveComparison(
+        workload=workload,
+        fixed=SweepPoint.from_run("thresholds", 0, fixed_run),
+        adaptive=SweepPoint.from_run("thresholds", 1, adaptive_run),
+        final_read_threshold=policy.read_threshold,
+        final_write_threshold=policy.write_threshold,
+        promotion_efficiency=policy.promotion_efficiency,
+    )

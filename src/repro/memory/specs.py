@@ -1,0 +1,177 @@
+"""Hybrid-memory configuration: sizes, devices and the PageFactor.
+
+:class:`HybridMemorySpec` bundles everything the cost models need about
+the machine: the DRAM and NVM device characteristics, how many page
+frames each module holds, the disk behind them, and the page/access
+granularities that define the paper's ``PageFactor`` coefficient.
+
+The paper's sizing rule (Section V-A) is implemented by
+:func:`HybridMemorySpec.for_footprint`: total memory = 75 % of the
+workload's distinct pages, DRAM = 10 % of total memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.memory.devices import (
+    DiskSpec,
+    MemoryDeviceSpec,
+    dram_spec,
+    hdd_spec,
+    pcm_spec,
+)
+from repro.trace.record import ACCESS_SIZE, PAGE_SIZE
+
+#: Paper Section V-A: memory holds 75 % of the workload's pages.
+DEFAULT_MEMORY_FRACTION = 0.75
+#: Paper Section V-A: DRAM is 10 % of the total hybrid memory.
+DEFAULT_DRAM_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class HybridMemorySpec:
+    """A fully-specified hybrid main memory configuration."""
+
+    dram: MemoryDeviceSpec
+    nvm: MemoryDeviceSpec
+    disk: DiskSpec
+    dram_pages: int
+    nvm_pages: int
+    page_size: int = PAGE_SIZE
+    access_size: int = ACCESS_SIZE
+
+    def __post_init__(self) -> None:
+        if self.dram_pages < 0 or self.nvm_pages < 0:
+            raise ValueError("page counts must be non-negative")
+        if self.dram_pages + self.nvm_pages == 0:
+            raise ValueError("memory must contain at least one page frame")
+        if self.page_size <= 0 or self.access_size <= 0:
+            raise ValueError("page_size and access_size must be positive")
+        if self.page_size % self.access_size:
+            raise ValueError("page_size must be a multiple of access_size")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def page_factor(self) -> int:
+        """Paper's ``PageFactor``: memory accesses needed to move a page."""
+        return self.page_size // self.access_size
+
+    @property
+    def total_pages(self) -> int:
+        return self.dram_pages + self.nvm_pages
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_pages * self.page_size
+
+    @property
+    def nvm_bytes(self) -> int:
+        return self.nvm_pages * self.page_size
+
+    @property
+    def total_bytes(self) -> int:
+        return self.dram_bytes + self.nvm_bytes
+
+    @property
+    def static_power(self) -> float:
+        """Total background power (watts) of both modules."""
+        return (
+            self.dram.static_power(self.dram_bytes)
+            + self.nvm.static_power(self.nvm_bytes)
+        )
+
+    @property
+    def is_dram_only(self) -> bool:
+        return self.nvm_pages == 0
+
+    @property
+    def is_nvm_only(self) -> bool:
+        return self.dram_pages == 0
+
+    # ------------------------------------------------------------------
+    # Migration cost helpers (paper Eq. 1 / Eq. 2 last terms)
+    # ------------------------------------------------------------------
+    def migration_latency_to_dram(self) -> float:
+        """Time to migrate one page NVM -> DRAM."""
+        return self.page_factor * (
+            self.nvm.read_latency + self.dram.write_latency
+        )
+
+    def migration_latency_to_nvm(self) -> float:
+        """Time to migrate one page DRAM -> NVM."""
+        return self.page_factor * (
+            self.dram.read_latency + self.nvm.write_latency
+        )
+
+    def migration_energy_to_dram(self) -> float:
+        """Energy to migrate one page NVM -> DRAM."""
+        return self.page_factor * (
+            self.nvm.read_energy + self.dram.write_energy
+        )
+
+    def migration_energy_to_nvm(self) -> float:
+        """Energy to migrate one page DRAM -> NVM."""
+        return self.page_factor * (
+            self.dram.read_energy + self.nvm.write_energy
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_footprint(
+        cls,
+        footprint_pages: int,
+        memory_fraction: float = DEFAULT_MEMORY_FRACTION,
+        dram_fraction: float = DEFAULT_DRAM_FRACTION,
+        dram: MemoryDeviceSpec | None = None,
+        nvm: MemoryDeviceSpec | None = None,
+        disk: DiskSpec | None = None,
+        page_size: int = PAGE_SIZE,
+        access_size: int = ACCESS_SIZE,
+    ) -> "HybridMemorySpec":
+        """Size a hybrid memory for a workload per the paper's rule.
+
+        ``memory_fraction`` of the workload's distinct pages fit in
+        memory; ``dram_fraction`` of those frames are DRAM.  Both module
+        sizes are floored at one page so every policy has somewhere to
+        put data.
+        """
+        if footprint_pages <= 0:
+            raise ValueError("footprint_pages must be positive")
+        if not 0.0 < memory_fraction <= 1.0:
+            raise ValueError("memory_fraction must be in (0, 1]")
+        if not 0.0 <= dram_fraction <= 1.0:
+            raise ValueError("dram_fraction must be in [0, 1]")
+        total = max(2, math.ceil(footprint_pages * memory_fraction))
+        dram_pages = max(1, round(total * dram_fraction))
+        nvm_pages = max(1, total - dram_pages)
+        return cls(
+            dram=dram or dram_spec(),
+            nvm=nvm or pcm_spec(),
+            disk=disk or hdd_spec(),
+            dram_pages=dram_pages,
+            nvm_pages=nvm_pages,
+            page_size=page_size,
+            access_size=access_size,
+        )
+
+    def as_dram_only(self) -> "HybridMemorySpec":
+        """Same total capacity, all frames DRAM (the Fig. 1 baseline)."""
+        return replace(self, dram_pages=self.total_pages, nvm_pages=0)
+
+    def as_nvm_only(self) -> "HybridMemorySpec":
+        """Same total capacity, all frames NVM (Fig. 2c/4b baseline)."""
+        return replace(self, dram_pages=0, nvm_pages=self.total_pages)
+
+    def with_dram_fraction(self, dram_fraction: float) -> "HybridMemorySpec":
+        """Re-split the same total capacity with a new DRAM share."""
+        if not 0.0 <= dram_fraction <= 1.0:
+            raise ValueError("dram_fraction must be in [0, 1]")
+        total = self.total_pages
+        dram_pages = max(1, round(total * dram_fraction)) if dram_fraction else 0
+        return replace(self, dram_pages=dram_pages, nvm_pages=total - dram_pages)

@@ -1,0 +1,21 @@
+"""The Linux-like memory-management layer: pages, frames, DMA, simulator."""
+
+from repro.mmu.dma import Channel, DMAEngine
+from repro.mmu.frames import FrameAllocator
+from repro.mmu.manager import MemoryManager
+from repro.mmu.page import PageLocation, PageTableEntry
+from repro.mmu.page_table import PageTable
+from repro.mmu.simulator import HybridMemorySimulator, RunResult, simulate
+
+__all__ = [
+    "Channel",
+    "DMAEngine",
+    "FrameAllocator",
+    "HybridMemorySimulator",
+    "MemoryManager",
+    "PageLocation",
+    "PageTable",
+    "PageTableEntry",
+    "RunResult",
+    "simulate",
+]

@@ -1,0 +1,64 @@
+"""Physical frame allocation for one memory module."""
+
+from __future__ import annotations
+
+
+class FrameAllocator:
+    """Fixed-capacity pool of page frames with O(1) allocate/free.
+
+    Frames are plain integers ``0..capacity-1``.  Freed frames are
+    recycled LIFO, which keeps the numbering dense for small runs and
+    makes allocation order deterministic.
+    """
+
+    __slots__ = ("capacity", "_next_fresh", "_free", "_allocated")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._next_fresh = 0
+        self._free: list[int] = []
+        self._allocated: set[int] = set()
+
+    @property
+    def used(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def free_count(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def full(self) -> bool:
+        return self.used >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return self.used == 0
+
+    def allocate(self) -> int:
+        """Take a free frame; raises :class:`MemoryError` when full."""
+        if self.full:
+            raise MemoryError(
+                f"no free frames (capacity {self.capacity}); "
+                "the policy must evict before allocating"
+            )
+        if self._free:
+            frame = self._free.pop()
+        else:
+            frame = self._next_fresh
+            self._next_fresh += 1
+        self._allocated.add(frame)
+        return frame
+
+    def release(self, frame: int) -> None:
+        """Return a frame to the pool."""
+        try:
+            self._allocated.remove(frame)
+        except KeyError:
+            raise ValueError(f"frame {frame} is not allocated") from None
+        self._free.append(frame)
+
+    def is_allocated(self, frame: int) -> bool:
+        return frame in self._allocated

@@ -1,0 +1,58 @@
+"""Page-level abstractions of the Linux-like memory-management layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PageLocation(enum.Enum):
+    """Where a virtual page currently lives."""
+
+    DRAM = "dram"
+    NVM = "nvm"
+    DISK = "disk"
+
+    @property
+    def in_memory(self) -> bool:
+        return self is not PageLocation.DISK
+
+    def __str__(self) -> str:
+        return self.value.upper()
+
+
+@dataclass
+class PageTableEntry:
+    """Per-page state tracked by the OS.
+
+    Mirrors the relevant bits of a real PTE: presence (implied by
+    ``location``), the backing frame, the dirty bit (drives write-back
+    on eviction) and an accessed bit plus counters usable by clock-style
+    policies.
+
+    For DRAM-as-cache architectures (the caching school of paper
+    Section III) an NVM-resident page may additionally hold a DRAM
+    *copy*: ``copy_frame`` points at it and ``copy_dirty`` tracks
+    whether it must be written back into NVM when dropped.
+    """
+
+    page: int
+    location: PageLocation
+    frame: int
+    dirty: bool = False
+    referenced: bool = False
+    access_count: int = 0
+    write_count: int = 0
+    copy_frame: int | None = None
+    copy_dirty: bool = False
+
+    @property
+    def has_copy(self) -> bool:
+        return self.copy_frame is not None
+
+    def mark_access(self, is_write: bool) -> None:
+        self.referenced = True
+        self.access_count += 1
+        if is_write:
+            self.write_count += 1
+            self.dirty = True

@@ -1,0 +1,185 @@
+"""The trace-driven hybrid-memory simulator and its result object.
+
+This is the framework the paper describes as "developed similar to the
+Linux memory management layer": it feeds a memory trace to a placement
+policy running over the shared :class:`~repro.mmu.manager.MemoryManager`
+mechanics, then evaluates the paper's performance, power and endurance
+models on the resulting event counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.memory.accounting import AccessAccounting, WearAccounting
+from repro.memory.endurance import (
+    EnduranceReport,
+    NVMWriteBreakdown,
+    compute_nvm_writes,
+    endurance_report,
+)
+from repro.memory.metrics import PerformanceBreakdown, compute_performance
+from repro.memory.power import PowerBreakdown, compute_power
+from repro.memory.specs import HybridMemorySpec
+from repro.mmu.manager import MemoryManager
+from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # avoid a package-level cycle with repro.policies
+    from repro.policies.base import HybridMemoryPolicy
+
+#: Builds a policy over a fresh memory manager (same shape as
+#: :data:`repro.policies.base.PolicyFactory`; duplicated here so the
+#: mmu layer does not import the policies package at module load).
+PolicyFactory = Callable[[MemoryManager], "HybridMemoryPolicy"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything measured about one (policy, workload, machine) run."""
+
+    workload: str
+    policy: str
+    spec: HybridMemorySpec
+    accounting: AccessAccounting
+    wear: WearAccounting
+    performance: PerformanceBreakdown
+    power: PowerBreakdown
+    nvm_writes: NVMWriteBreakdown
+    endurance: EnduranceReport
+
+    @property
+    def amat(self) -> float:
+        return self.performance.amat
+
+    @property
+    def appr(self) -> float:
+        return self.power.appr
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.accounting.hit_ratio
+
+    def summary(self) -> dict[str, float]:
+        """Flat metric dict used by reports and regression tests."""
+        accounting = self.accounting
+        return {
+            "requests": float(accounting.total_requests),
+            "hit_ratio": accounting.hit_ratio,
+            "dram_hit_ratio": accounting.p_hit_dram,
+            "nvm_hit_ratio": accounting.p_hit_nvm,
+            "miss_ratio": accounting.p_miss,
+            "migrations_to_dram": float(accounting.migrations_to_dram),
+            "migrations_to_nvm": float(accounting.migrations_to_nvm),
+            "amat_ns": self.performance.amat * 1e9,
+            "appr_nj": self.power.appr * 1e9,
+            "nvm_writes": float(self.nvm_writes.total),
+        }
+
+
+class HybridMemorySimulator:
+    """Drives one policy over one trace and scores it with the models."""
+
+    def __init__(
+        self,
+        spec: HybridMemorySpec,
+        policy_factory: PolicyFactory,
+        validate_every: int = 0,
+        inter_request_gap: float = 0.0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        spec:
+            Machine configuration.
+        policy_factory:
+            Builds the policy over a fresh memory manager.
+        validate_every:
+            When positive, run the full cross-layer invariant check
+            every N requests (slow; meant for tests).
+        inter_request_gap:
+            Mean compute/LLC time between consecutive main-memory
+            requests (seconds); feeds the static-power proration.
+        """
+        self.spec = spec
+        self.mm = MemoryManager(spec)
+        self.policy = policy_factory(self.mm)
+        self.validate_every = validate_every
+        self.inter_request_gap = inter_request_gap
+
+    def run(self, trace: Trace, warmup_fraction: float = 0.0) -> RunResult:
+        """Simulate the trace and evaluate the models.
+
+        ``warmup_fraction`` of the trace is replayed first to populate
+        memory and train the policy, then the accounting is reset and
+        only the remainder is measured (the paper's warm-start ROI
+        measurement).
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if warmup_fraction > 0.0:
+            boundary = int(len(trace) * warmup_fraction)
+            self._replay(trace[:boundary])
+            self.mm.reset_accounting()
+            self._replay(trace[boundary:])
+        else:
+            self._replay(trace)
+        return self.result(workload=trace.name)
+
+    def _replay(self, trace: Trace) -> None:
+        access = self.policy.access
+        if self.validate_every > 0:
+            validate_every = self.validate_every
+            for index, (page, is_write) in enumerate(trace.iter_pairs(), 1):
+                access(page, is_write)
+                if index % validate_every == 0:
+                    self.policy.validate()
+        else:
+            for page, is_write in trace.iter_pairs():
+                access(page, is_write)
+
+    def result(self, workload: str = "trace") -> RunResult:
+        """Score the accumulated events (callable mid-run as well)."""
+        accounting = self.mm.accounting
+        performance = compute_performance(accounting, self.spec)
+        power = compute_power(
+            accounting, self.spec, performance,
+            inter_request_gap=self.inter_request_gap,
+        )
+        nvm_writes = compute_nvm_writes(accounting, self.spec)
+        elapsed = (
+            (performance.memory_time + self.inter_request_gap)
+            * accounting.total_requests
+        )
+        endurance = endurance_report(
+            self.mm.wear, self.spec, elapsed_seconds=elapsed or None
+        )
+        return RunResult(
+            workload=workload,
+            policy=self.policy.name,
+            spec=self.spec,
+            accounting=accounting,
+            wear=self.mm.wear,
+            performance=performance,
+            power=power,
+            nvm_writes=nvm_writes,
+            endurance=endurance,
+        )
+
+
+def simulate(
+    trace: Trace,
+    spec: HybridMemorySpec,
+    policy_factory: PolicyFactory,
+    validate_every: int = 0,
+    inter_request_gap: float = 0.0,
+    warmup_fraction: float = 0.0,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`HybridMemorySimulator`."""
+    simulator = HybridMemorySimulator(
+        spec,
+        policy_factory,
+        validate_every=validate_every,
+        inter_request_gap=inter_request_gap,
+    )
+    return simulator.run(trace, warmup_fraction=warmup_fraction)

@@ -1,0 +1,49 @@
+"""Policy interface: the decision layer over the memory manager.
+
+A policy receives the request stream and decides placement — where
+faults fill, what migrates, what gets evicted — by invoking
+:class:`~repro.mmu.manager.MemoryManager` primitives.  All bookkeeping
+(hits, faults, migrations, wear) happens inside the manager, so every
+policy is scored identically.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.mmu.manager import MemoryManager
+
+#: Factory signature used by the simulator and the registry.
+PolicyFactory = Callable[[MemoryManager], "HybridMemoryPolicy"]
+
+
+class HybridMemoryPolicy(abc.ABC):
+    """Base class for page-placement policies over a hybrid memory."""
+
+    #: Short identifier used in reports and the policy registry.
+    name: str = "abstract"
+
+    def __init__(self, mm: MemoryManager) -> None:
+        self.mm = mm
+
+    @abc.abstractmethod
+    def access(self, page: int, is_write: bool) -> None:
+        """Handle one memory request end-to-end.
+
+        Implementations must call ``self.mm.record_request(is_write)``
+        exactly once, then service the request through the manager
+        (``serve_hit`` / ``fault_fill`` plus any migrations/evictions
+        the policy decides on).
+        """
+
+    def validate(self) -> None:
+        """Check policy-internal state against the manager's (tests).
+
+        Subclasses extend this with their own structure checks; the
+        default validates the shared mechanical layer.
+        """
+        self.mm.validate()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} policy={self.name!r}>"

@@ -1,0 +1,156 @@
+"""CAR — Clock with Adaptive Replacement (Bansal & Modha, FAST 2004).
+
+One of the conventional algorithms the paper positions CLOCK-DWF
+against.  CAR keeps two clocks — ``T1`` for recency, ``T2`` for
+frequency — plus two ghost LRU lists ``B1``/``B2`` of recently evicted
+pages, and adapts the recency-clock target size ``p`` from ghost hits.
+
+Implemented from the published pseudocode.  The clocks are modelled
+with ordered dictionaries (head = hand position, tail = insertion
+point), which is behaviourally identical to the circular-buffer
+formulation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.policies.replacement import ReplacementAlgorithm
+
+
+class CARReplacement(ReplacementAlgorithm):
+    """CAR over a fixed set of ``capacity`` frames."""
+
+    name = "car"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        # page -> reference bit
+        self._t1: OrderedDict[int, bool] = OrderedDict()
+        self._t2: OrderedDict[int, bool] = OrderedDict()
+        # ghost lists, LRU at the front
+        self._b1: OrderedDict[int, None] = OrderedDict()
+        self._b2: OrderedDict[int, None] = OrderedDict()
+        self.p = 0.0  # target size of T1
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def __contains__(self, page: int) -> bool:
+        return page in self._t1 or page in self._t2
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def hit(self, page: int, is_write: bool = False) -> None:
+        if page in self._t1:
+            self._t1[page] = True
+        elif page in self._t2:
+            self._t2[page] = True
+        else:
+            raise KeyError(f"page {page} not resident")
+
+    def insert(self, page: int, is_write: bool = False) -> None:
+        """Admit a faulted page, learning from the ghost lists.
+
+        The caller must already have made room (``evict``) when the
+        cache was full, matching the published control flow where
+        ``replace()`` runs before directory insertion.
+        """
+        if self.full:
+            raise MemoryError("insert into full CAR; evict first")
+        if page in self:
+            raise KeyError(f"page {page} already resident")
+        in_b1 = page in self._b1
+        in_b2 = page in self._b2
+        if not in_b1 and not in_b2:
+            # Cache-directory miss: bound the directory sizes.
+            if len(self._t1) + len(self._b1) >= self.capacity:
+                self._pop_lru(self._b1)
+            elif (len(self._t1) + len(self._t2) + len(self._b1)
+                  + len(self._b2)) >= 2 * self.capacity:
+                self._pop_lru(self._b2)
+            self._t1[page] = False
+        elif in_b1:
+            # Recency ghost hit: grow the recency target.
+            ratio = len(self._b2) / len(self._b1) if self._b1 else 1.0
+            self.p = min(self.p + max(1.0, ratio), float(self.capacity))
+            del self._b1[page]
+            self._t2[page] = False
+        else:
+            # Frequency ghost hit: shrink the recency target.
+            ratio = len(self._b1) / len(self._b2) if self._b2 else 1.0
+            self.p = max(self.p - max(1.0, ratio), 0.0)
+            del self._b2[page]
+            self._t2[page] = False
+
+    def evict(self) -> int:
+        """The published ``replace()`` procedure."""
+        if not len(self):
+            raise IndexError("evict from empty CAR")
+        while True:
+            take_t1 = self._t1 and (
+                len(self._t1) >= max(1.0, self.p) or not self._t2
+            )
+            if take_t1:
+                page, referenced = self._pop_head(self._t1)
+                if referenced:
+                    # Promote to the frequency clock.
+                    self._t2[page] = False
+                else:
+                    self._b1[page] = None
+                    return page
+            else:
+                page, referenced = self._pop_head(self._t2)
+                if referenced:
+                    self._t2[page] = False  # re-queue at the tail
+                else:
+                    self._b2[page] = None
+                    return page
+
+    def remove(self, page: int) -> None:
+        if page in self._t1:
+            del self._t1[page]
+        elif page in self._t2:
+            del self._t2[page]
+        else:
+            raise KeyError(f"page {page} not resident")
+
+    # ------------------------------------------------------------------
+    # Helpers / introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pop_head(clock: OrderedDict[int, bool]) -> tuple[int, bool]:
+        page, referenced = next(iter(clock.items()))
+        del clock[page]
+        return page, referenced
+
+    @staticmethod
+    def _pop_lru(ghost: OrderedDict[int, None]) -> None:
+        if ghost:
+            ghost.popitem(last=False)
+
+    @property
+    def recency_pages(self) -> int:
+        return len(self._t1)
+
+    @property
+    def frequency_pages(self) -> int:
+        return len(self._t2)
+
+    @property
+    def ghost_pages(self) -> int:
+        return len(self._b1) + len(self._b2)
+
+    def validate(self) -> None:
+        super().validate()
+        if set(self._t1) & set(self._t2):
+            raise AssertionError("page resident in both CAR clocks")
+        if (set(self._t1) | set(self._t2)) & (set(self._b1) | set(self._b2)):
+            raise AssertionError("resident page also in a ghost list")
+        if len(self._t1) + len(self._b1) > self.capacity:
+            raise AssertionError("CAR directory bound |T1|+|B1| <= c violated")
+        directory = (len(self._t1) + len(self._t2)
+                     + len(self._b1) + len(self._b2))
+        if directory > 2 * self.capacity:
+            raise AssertionError("CAR directory bound <= 2c violated")

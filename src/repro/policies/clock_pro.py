@@ -1,0 +1,311 @@
+"""CLOCK-Pro (Jiang, Chen & Zhang, USENIX ATC 2005).
+
+The strongest conventional single-tier baseline the paper mentions
+(CLOCK-DWF "outperforms previous work such as CLOCK-PRO", Section I).
+CLOCK-Pro approximates LIRS with clock mechanics: pages are *hot* or
+*cold*, freshly admitted cold pages run a *test period*, and recently
+evicted cold pages linger as non-resident metadata so that a quick
+re-fault proves reuse and promotes the page to hot.  The hot/cold split
+adapts: a re-fault during test grows the cold allocation, an expired
+test shrinks it.
+
+This is a faithful single-list, three-hand implementation; the one
+simplification versus the full paper is that ``HAND_hot`` demotes one
+hot page per invocation (the original batches its sweep), which does
+not change which pages get demoted.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.policies.replacement import ReplacementAlgorithm
+
+
+class _State(enum.Enum):
+    HOT = "hot"
+    COLD = "cold"          # resident cold
+    NONRESIDENT = "nr"     # evicted cold page still in its test period
+
+
+class _ProNode:
+    __slots__ = ("page", "prev", "next", "state", "referenced", "in_test")
+
+    def __init__(self, page: int) -> None:
+        self.page = page
+        self.prev: "_ProNode | None" = None
+        self.next: "_ProNode | None" = None
+        self.state = _State.COLD
+        self.referenced = False
+        self.in_test = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "R" if self.referenced else "-"
+        flags += "T" if self.in_test else "-"
+        return f"<{self.page}:{self.state.value}:{flags}>"
+
+
+class ClockProReplacement(ReplacementAlgorithm):
+    """CLOCK-Pro over a fixed set of ``capacity`` frames."""
+
+    name = "clock-pro"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 2:
+            raise ValueError("CLOCK-Pro needs at least two frames")
+        super().__init__(capacity)
+        self._nodes: dict[int, _ProNode] = {}
+        self._hand_hot: _ProNode | None = None
+        self._hand_cold: _ProNode | None = None
+        self._hand_test: _ProNode | None = None
+        self.cold_target = 1  # adaptive, within [1, capacity - 1]
+        self.hot_count = 0
+        self.cold_count = 0
+        self.nonresident_count = 0
+
+    # ------------------------------------------------------------------
+    # ReplacementAlgorithm interface
+    # ------------------------------------------------------------------
+    def __contains__(self, page: int) -> bool:
+        node = self._nodes.get(page)
+        return node is not None and node.state is not _State.NONRESIDENT
+
+    def __len__(self) -> int:
+        return self.hot_count + self.cold_count
+
+    def hit(self, page: int, is_write: bool = False) -> None:
+        node = self._nodes.get(page)
+        if node is None or node.state is _State.NONRESIDENT:
+            raise KeyError(f"page {page} not resident")
+        node.referenced = True
+
+    def insert(self, page: int, is_write: bool = False) -> None:
+        if self.full:
+            raise MemoryError("insert into full CLOCK-Pro; evict first")
+        ghost = self._nodes.get(page)
+        if ghost is not None and ghost.state is not _State.NONRESIDENT:
+            raise KeyError(f"page {page} already resident")
+        if ghost is not None:
+            # Re-fault inside the test period: the page proved reuse.
+            self.cold_target = min(self.cold_target + 1, self.capacity - 1)
+            self.nonresident_count -= 1
+            self._remove_node(ghost)
+            node = self._link_new(page)
+            node.state = _State.HOT
+            node.in_test = False
+            self.hot_count += 1
+            self._balance_hot()
+        else:
+            node = self._link_new(page)
+            node.state = _State.COLD
+            node.in_test = True
+            self.cold_count += 1
+        self._bound_nonresident()
+
+    def evict(self) -> int:
+        if not len(self):
+            raise IndexError("evict from empty CLOCK-Pro")
+        if self.cold_count == 0:
+            # Everything is hot: demote one page so HAND_cold has work.
+            self._run_hand_hot()
+        guard = 4 * (len(self._nodes) + 1)
+        while guard:
+            guard -= 1
+            node = self._hand_cold_node()
+            if node.referenced:
+                node.referenced = False
+                if node.in_test:
+                    # Reuse during test: cold page becomes hot.
+                    self._advance_cold_past(node)
+                    self._move_to_head(node)
+                    node.state = _State.HOT
+                    node.in_test = False
+                    self.cold_count -= 1
+                    self.hot_count += 1
+                    self._balance_hot()
+                    if self.cold_count == 0:
+                        self._run_hand_hot()
+                else:
+                    # Second chance with a fresh test period.
+                    self._advance_cold_past(node)
+                    self._move_to_head(node)
+                    node.in_test = True
+                continue
+            # Unreferenced cold page: this is the victim.
+            victim = node.page
+            self._advance_cold_past(node)
+            self.cold_count -= 1
+            if node.in_test:
+                node.state = _State.NONRESIDENT
+                self.nonresident_count += 1
+                self._bound_nonresident()
+            else:
+                self._remove_node(node)
+                del self._nodes[node.page]
+            return victim
+        raise AssertionError("HAND_cold failed to find a victim")
+
+    def remove(self, page: int) -> None:
+        node = self._nodes.get(page)
+        if node is None or node.state is _State.NONRESIDENT:
+            raise KeyError(f"page {page} not resident")
+        if node.state is _State.HOT:
+            self.hot_count -= 1
+        else:
+            self.cold_count -= 1
+        self._remove_node(node)
+        del self._nodes[page]
+
+    # ------------------------------------------------------------------
+    # Hands
+    # ------------------------------------------------------------------
+    def _hand_cold_node(self) -> _ProNode:
+        """Advance HAND_cold to the next resident cold page."""
+        guard = 2 * (len(self._nodes) + 1)
+        node = self._hand_cold
+        assert node is not None
+        while guard:
+            guard -= 1
+            if node.state is _State.COLD:
+                self._hand_cold = node
+                return node
+            assert node.next is not None
+            node = node.next
+        raise AssertionError("HAND_cold found no resident cold page")
+
+    def _advance_cold_past(self, node: _ProNode) -> None:
+        if self._hand_cold is node:
+            self._hand_cold = node.next if node.next is not node else None
+
+    def _balance_hot(self) -> None:
+        """Demote hot pages until the hot allocation fits its target."""
+        hot_target = max(1, self.capacity - self.cold_target)
+        guard = 4 * (len(self._nodes) + 1)
+        while self.hot_count > hot_target and guard:
+            guard -= 1
+            self._run_hand_hot()
+
+    def _run_hand_hot(self) -> None:
+        """Demote one hot page; clean up metadata passed on the way."""
+        guard = 4 * (len(self._nodes) + 1)
+        node = self._hand_hot
+        assert node is not None
+        while guard:
+            guard -= 1
+            next_node = node.next
+            if node.state is _State.HOT:
+                if node.referenced:
+                    node.referenced = False
+                else:
+                    node.state = _State.COLD
+                    node.in_test = False
+                    node.referenced = False
+                    self.hot_count -= 1
+                    self.cold_count += 1
+                    self._hand_hot = next_node
+                    return
+            elif node.state is _State.NONRESIDENT:
+                # HAND_hot terminates test periods it passes.
+                self.cold_target = max(1, self.cold_target - 1)
+                self.nonresident_count -= 1
+                self._remove_node(node)
+                del self._nodes[node.page]
+            else:
+                # Resident cold page: its test period ends here too.
+                if node.in_test:
+                    node.in_test = False
+                    self.cold_target = max(1, self.cold_target - 1)
+            assert next_node is not None
+            node = next_node
+        raise AssertionError("HAND_hot found no hot page to demote")
+
+    def _bound_nonresident(self) -> None:
+        """Keep non-resident metadata within one capacity's worth."""
+        guard = 4 * (len(self._nodes) + 1)
+        while self.nonresident_count > self.capacity and guard:
+            guard -= 1
+            node = self._hand_test
+            assert node is not None
+            next_node = node.next if node.next is not node else None
+            if node.state is _State.NONRESIDENT:
+                self.cold_target = max(1, self.cold_target - 1)
+                self.nonresident_count -= 1
+                self._remove_node(node)
+                del self._nodes[node.page]
+            self._hand_test = next_node if self._nodes else None
+
+    # ------------------------------------------------------------------
+    # Ring plumbing
+    # ------------------------------------------------------------------
+    def _link_new(self, page: int) -> _ProNode:
+        node = _ProNode(page)
+        self._nodes[page] = node
+        if self._hand_hot is None:
+            node.prev = node
+            node.next = node
+            self._hand_hot = node
+            self._hand_cold = node
+            self._hand_test = node
+        else:
+            # List head sits just behind HAND_hot.
+            tail = self._hand_hot.prev
+            assert tail is not None
+            tail.next = node
+            node.prev = tail
+            node.next = self._hand_hot
+            self._hand_hot.prev = node
+        return node
+
+    def _move_to_head(self, node: _ProNode) -> None:
+        if self._hand_hot is node or node.next is node:
+            return
+        self._unlink_only(node)
+        head_anchor = self._hand_hot
+        assert head_anchor is not None
+        tail = head_anchor.prev
+        assert tail is not None
+        tail.next = node
+        node.prev = tail
+        node.next = head_anchor
+        head_anchor.prev = node
+
+    def _unlink_only(self, node: _ProNode) -> None:
+        for hand_name in ("_hand_hot", "_hand_cold", "_hand_test"):
+            if getattr(self, hand_name) is node:
+                setattr(
+                    self, hand_name,
+                    node.next if node.next is not node else None,
+                )
+        assert node.prev is not None and node.next is not None
+        node.prev.next = node.next
+        node.next.prev = node.prev
+        node.prev = None
+        node.next = None
+
+    def _remove_node(self, node: _ProNode) -> None:
+        if node.next is node:
+            self._hand_hot = None
+            self._hand_cold = None
+            self._hand_test = None
+            node.prev = None
+            node.next = None
+        else:
+            self._unlink_only(node)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        super().validate()
+        hot = cold = nonresident = 0
+        for node in self._nodes.values():
+            if node.state is _State.HOT:
+                hot += 1
+            elif node.state is _State.COLD:
+                cold += 1
+            else:
+                nonresident += 1
+        if (hot, cold, nonresident) != (
+            self.hot_count, self.cold_count, self.nonresident_count
+        ):
+            raise AssertionError("CLOCK-Pro counters drifted")
+        if not 1 <= self.cold_target <= self.capacity - 1:
+            raise AssertionError("cold_target out of range")

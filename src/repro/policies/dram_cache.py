@@ -1,0 +1,93 @@
+"""DRAM-as-cache architecture (Qureshi, Srinivasan & Rivers, ISCA 2009).
+
+The first school of hybrid designs the paper's Section III discusses:
+"a group of previous studies tried to use DRAM as a caching layer for
+NVM memory [10], [14], [15]".  Here NVM is the *home* of every
+resident page and the DRAM module holds inclusive *copies* of recently
+used pages:
+
+* page faults always fill NVM (the home level);
+* any access to an uncopied NVM page allocates a DRAM copy
+  (allocate-on-access, the classic cache fill), evicting the LRU copy
+  when the cache is full;
+* hits on copied pages are DRAM hits; writes dirty the copy;
+* dropped dirty copies write back into NVM (charged like a DRAM->NVM
+  migration), clean copies are dropped for free.
+
+The design's two structural costs — the capacity lost to duplication
+(resident pages = NVM frames only) and the fill/write-back traffic on
+low-locality streams (Section III: "if the locality of the requests
+drops below a threshold, the performance of the cache will be
+decreased") — emerge directly from this model.
+"""
+
+from __future__ import annotations
+
+from repro.core.lru import LRUQueue
+from repro.mmu.manager import MemoryManager
+from repro.mmu.page import PageLocation
+from repro.policies.base import HybridMemoryPolicy
+
+
+class DramCachePolicy(HybridMemoryPolicy):
+    """Inclusive DRAM cache in front of an NVM home memory."""
+
+    name = "dram-cache"
+
+    def __init__(self, mm: MemoryManager) -> None:
+        super().__init__(mm)
+        if mm.spec.dram_pages < 1 or mm.spec.nvm_pages < 1:
+            raise ValueError("DRAM cache needs both DRAM and NVM frames")
+        self.nvm_lru = LRUQueue()    # residency (home level)
+        self.cache_lru = LRUQueue()  # DRAM copies
+
+    def access(self, page: int, is_write: bool) -> None:
+        self.mm.record_request(is_write)
+        if page in self.cache_lru:
+            self.cache_lru.touch(page)
+            self.nvm_lru.touch(page)  # home stays recency-ordered too
+            self.mm.serve_hit(page, is_write)
+            return
+        if page in self.nvm_lru:
+            self.nvm_lru.touch(page)
+            self.mm.serve_hit(page, is_write)
+            self._fill_cache(page)
+            return
+        self._page_fault(page, is_write)
+
+    # ------------------------------------------------------------------
+    def _fill_cache(self, page: int) -> None:
+        if not self.mm.has_free(PageLocation.DRAM):
+            victim = self.cache_lru.pop_lru()
+            self.mm.drop_copy(victim.page)
+        self.mm.create_copy(page)
+        self.cache_lru.push_front(page)
+
+    def _page_fault(self, page: int, is_write: bool) -> None:
+        if not self.mm.has_free(PageLocation.NVM):
+            victim = self.nvm_lru.pop_lru()
+            if victim.page in self.cache_lru:
+                self.cache_lru.remove(victim.page)
+                self.mm.drop_copy(victim.page)
+            self.mm.evict_to_disk(victim.page)
+        self.mm.fault_fill(page, PageLocation.NVM, is_write)
+        self.nvm_lru.push_front(page)
+        # the faulting access goes on to use the page: cache it
+        self._fill_cache(page)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        super().validate()
+        self.nvm_lru.check()
+        self.cache_lru.check()
+        resident = set(self.mm.page_table.pages_in(PageLocation.NVM))
+        if resident != set(self.nvm_lru.pages()):
+            raise AssertionError("home queue out of sync with page table")
+        cached = {
+            entry.page for entry in self.mm.page_table.entries()
+            if entry.has_copy
+        }
+        if cached != set(self.cache_lru.pages()):
+            raise AssertionError("cache queue out of sync with copies")
+        if not cached <= resident:
+            raise AssertionError("cache is not inclusive")

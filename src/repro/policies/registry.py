@@ -1,0 +1,122 @@
+"""Policy registry: build any policy by name.
+
+The experiment runner, benchmarks and examples all reference policies
+by their short names; the registry maps those to factories over a
+:class:`~repro.mmu.manager.MemoryManager`.
+
+The built-in factory table is populated lazily because the registry
+sits between two packages that import each other's leaves
+(``repro.core`` provides policies, ``repro.policies.base`` provides
+their base class); deferring the imports keeps module loading acyclic
+regardless of which package is imported first.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.mmu.manager import MemoryManager
+from repro.policies.base import HybridMemoryPolicy, PolicyFactory
+
+if TYPE_CHECKING:
+    from repro.core.config import MigrationConfig
+    from repro.policies.replacement import ReplacementAlgorithm
+
+_FACTORIES: dict[str, PolicyFactory] = {}
+_ALGORITHMS: dict[str, Callable[[int], "ReplacementAlgorithm"]] = {}
+
+
+def _ensure_builtins() -> None:
+    if _FACTORIES:
+        return
+    from repro.core.adaptive import AdaptiveMigrationPolicy
+    from repro.core.migration import MigrationLRUPolicy
+    from repro.policies.car import CARReplacement
+    from repro.policies.clock_dwf import ClockDWFPolicy
+    from repro.policies.clock_pro import ClockProReplacement
+    from repro.policies.dram_cache import DramCachePolicy
+    from repro.policies.pdram import PDRAMPolicy
+    from repro.policies.replacement import ClockReplacement, LRUReplacement
+    from repro.policies.single_tier import DramOnlyPolicy, NvmOnlyPolicy
+    from repro.policies.variants import (
+        EagerMigrationPolicy,
+        NeverMigratePolicy,
+        StaticPartitionPolicy,
+    )
+
+    _FACTORIES.update({
+        "proposed": MigrationLRUPolicy,
+        "adaptive": AdaptiveMigrationPolicy,
+        "clock-dwf": ClockDWFPolicy,
+        "pdram": PDRAMPolicy,
+        "dram-cache": DramCachePolicy,
+        "dram-only": DramOnlyPolicy,
+        "nvm-only": NvmOnlyPolicy,
+        "eager-migration": EagerMigrationPolicy,
+        "never-migrate": NeverMigratePolicy,
+        "static-partition": StaticPartitionPolicy,
+        "dram-only-clock": lambda mm: DramOnlyPolicy(mm, ClockReplacement),
+        "dram-only-clock-pro":
+            lambda mm: DramOnlyPolicy(mm, ClockProReplacement),
+        "dram-only-car": lambda mm: DramOnlyPolicy(mm, CARReplacement),
+        "nvm-only-clock": lambda mm: NvmOnlyPolicy(mm, ClockReplacement),
+        "nvm-only-clock-pro":
+            lambda mm: NvmOnlyPolicy(mm, ClockProReplacement),
+        "nvm-only-car": lambda mm: NvmOnlyPolicy(mm, CARReplacement),
+    })
+    _ALGORITHMS.update({
+        "lru": LRUReplacement,
+        "clock": ClockReplacement,
+        "clock-pro": ClockProReplacement,
+        "car": CARReplacement,
+    })
+
+
+def available_policies() -> list[str]:
+    """Registered policy names, sorted."""
+    _ensure_builtins()
+    return sorted(_FACTORIES)
+
+
+def policy_factory(name: str) -> PolicyFactory:
+    """Factory for a registered policy name."""
+    _ensure_builtins()
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_policies())
+        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+
+
+def make_policy(name: str, mm: MemoryManager) -> HybridMemoryPolicy:
+    """Instantiate a registered policy over a memory manager."""
+    return policy_factory(name)(mm)
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Register a custom policy (examples/tests extending the suite)."""
+    _ensure_builtins()
+    if name in _FACTORIES:
+        raise ValueError(f"policy {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def proposed_with(config: "MigrationConfig") -> PolicyFactory:
+    """Factory for the proposed scheme with custom thresholds/windows."""
+    from repro.core.migration import MigrationLRUPolicy
+
+    def factory(mm: MemoryManager) -> HybridMemoryPolicy:
+        return MigrationLRUPolicy(mm, config)
+
+    return factory
+
+
+def replacement_algorithm(name: str, capacity: int) -> "ReplacementAlgorithm":
+    """Instantiate a single-tier replacement algorithm by name."""
+    _ensure_builtins()
+    try:
+        factory = _ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(_ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    return factory(capacity)

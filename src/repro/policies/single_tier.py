@@ -1,0 +1,90 @@
+"""Homogeneous-memory policies: the DRAM-only and NVM-only baselines.
+
+The paper normalises every figure against one of these: power against a
+DRAM-only memory of the same total capacity (Fig. 1/2a/4a), NVM writes
+against an NVM-only memory (Fig. 2c/4b).  Both run a conventional
+replacement algorithm (LRU by default, CLOCK/CLOCK-Pro/CAR pluggable)
+over a single module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mmu.manager import MemoryManager
+from repro.mmu.page import PageLocation
+from repro.policies.base import HybridMemoryPolicy
+from repro.policies.replacement import LRUReplacement, ReplacementAlgorithm
+
+AlgorithmFactory = Callable[[int], ReplacementAlgorithm]
+
+
+class SingleTierPolicy(HybridMemoryPolicy):
+    """All pages live in one module, managed by one replacement algorithm."""
+
+    def __init__(
+        self,
+        mm: MemoryManager,
+        location: PageLocation,
+        algorithm_factory: AlgorithmFactory = LRUReplacement,
+    ) -> None:
+        super().__init__(mm)
+        if location is PageLocation.DRAM:
+            capacity = mm.spec.dram_pages
+        elif location is PageLocation.NVM:
+            capacity = mm.spec.nvm_pages
+        else:
+            raise ValueError("single tier must be DRAM or NVM")
+        if capacity < 1:
+            raise ValueError(
+                f"spec allocates no {location} frames; use "
+                "spec.as_dram_only()/as_nvm_only() to build the baseline"
+            )
+        self.location = location
+        self.algorithm = algorithm_factory(capacity)
+
+    def access(self, page: int, is_write: bool) -> None:
+        self.mm.record_request(is_write)
+        if page in self.algorithm:
+            self.algorithm.hit(page, is_write)
+            self.mm.serve_hit(page, is_write)
+            return
+        if self.algorithm.full:
+            victim = self.algorithm.evict()
+            self.mm.evict_to_disk(victim)
+        self.mm.fault_fill(page, self.location, is_write)
+        self.algorithm.insert(page, is_write)
+
+    def validate(self) -> None:
+        super().validate()
+        self.algorithm.validate()
+        resident = set(self.mm.page_table.pages_in(self.location))
+        tracked = {page for page in resident if page in self.algorithm}
+        if tracked != resident or len(self.algorithm) != len(resident):
+            raise AssertionError("replacement state out of sync with page table")
+
+
+class DramOnlyPolicy(SingleTierPolicy):
+    """Conventional DRAM main memory (the paper's power baseline)."""
+
+    name = "dram-only"
+
+    def __init__(
+        self,
+        mm: MemoryManager,
+        algorithm_factory: AlgorithmFactory = LRUReplacement,
+    ) -> None:
+        super().__init__(mm, PageLocation.DRAM, algorithm_factory)
+
+
+class NvmOnlyPolicy(SingleTierPolicy):
+    """All-NVM main memory (the paper's endurance baseline)."""
+
+    name = "nvm-only"
+
+    def __init__(
+        self,
+        mm: MemoryManager,
+        algorithm_factory: AlgorithmFactory = LRUReplacement,
+    ) -> None:
+        super().__init__(mm, PageLocation.NVM, algorithm_factory)

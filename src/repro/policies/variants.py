@@ -1,0 +1,108 @@
+"""Ablation variants of the proposed scheme and a static-placement baseline.
+
+These bracket the design space around the paper's contribution:
+
+* :class:`EagerMigrationPolicy` — the thresholds disabled (any NVM hit
+  promotes).  This is what "two LRU queues without the counter
+  machinery" degenerates to, and it reproduces the migration storm the
+  paper criticises in CLOCK-DWF.
+* :class:`NeverMigratePolicy` — promotion disabled entirely; DRAM acts
+  as a FIFO-ish staging area feeding NVM.  Shows the other extreme:
+  zero migration cost, but hot pages strand in NVM.
+* :class:`StaticPartitionPolicy` — pages pinned to a module by hash;
+  no migrations ever.  The "no management at all" reference point.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MigrationConfig
+from repro.core.migration import MigrationLRUPolicy
+from repro.mmu.manager import MemoryManager
+from repro.mmu.page import PageLocation
+from repro.policies.base import HybridMemoryPolicy
+from repro.policies.replacement import LRUReplacement
+
+
+class EagerMigrationPolicy(MigrationLRUPolicy):
+    """Two plain LRUs that promote on *every* NVM hit (threshold 0)."""
+
+    name = "eager-migration"
+
+    def __init__(self, mm: MemoryManager) -> None:
+        super().__init__(
+            mm,
+            MigrationConfig(
+                read_window_fraction=1.0,
+                write_window_fraction=1.0,
+                read_threshold=0,
+                write_threshold=0,
+            ),
+        )
+
+
+class NeverMigratePolicy(MigrationLRUPolicy):
+    """Two plain LRUs with promotion disabled (infinite thresholds)."""
+
+    name = "never-migrate"
+
+    _NEVER = 1 << 60
+
+    def __init__(self, mm: MemoryManager) -> None:
+        super().__init__(
+            mm,
+            MigrationConfig(
+                read_window_fraction=0.0,
+                write_window_fraction=0.0,
+                read_threshold=self._NEVER,
+                write_threshold=self._NEVER,
+            ),
+        )
+
+
+class StaticPartitionPolicy(HybridMemoryPolicy):
+    """Pages pinned to DRAM or NVM by page number; LRU within each module.
+
+    The DRAM share of pages matches the DRAM share of frames, so both
+    modules see proportionate load.  No page ever crosses modules:
+    migrations are identically zero, which makes this the cleanest
+    reference point for "how much is migration worth at all".
+    """
+
+    name = "static-partition"
+
+    def __init__(self, mm: MemoryManager) -> None:
+        super().__init__(mm)
+        spec = mm.spec
+        if spec.dram_pages < 1 or spec.nvm_pages < 1:
+            raise ValueError("static partition needs both modules")
+        self._modulus = spec.total_pages
+        self._dram_slots = spec.dram_pages
+        self.dram_lru = LRUReplacement(spec.dram_pages)
+        self.nvm_lru = LRUReplacement(spec.nvm_pages)
+
+    def _home(self, page: int) -> PageLocation:
+        # Deterministic hash spreading pages across modules in
+        # proportion to their frame counts.
+        slot = (page * 2654435761) % self._modulus
+        return (
+            PageLocation.DRAM if slot < self._dram_slots else PageLocation.NVM
+        )
+
+    def access(self, page: int, is_write: bool) -> None:
+        self.mm.record_request(is_write)
+        home = self._home(page)
+        algorithm = self.dram_lru if home is PageLocation.DRAM else self.nvm_lru
+        if page in algorithm:
+            algorithm.hit(page, is_write)
+            self.mm.serve_hit(page, is_write)
+            return
+        if algorithm.full:
+            victim = algorithm.evict()
+            self.mm.evict_to_disk(victim)
+        self.mm.fault_fill(page, home, is_write)
+        algorithm.insert(page, is_write)
+
+    def validate(self) -> None:
+        super().validate()
+        self.dram_lru.validate()
+        self.nvm_lru.validate()

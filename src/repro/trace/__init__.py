@@ -1,0 +1,49 @@
+"""Trace infrastructure: records, containers, IO, statistics, transforms."""
+
+from repro.trace.record import (
+    ACCESS_SIZE,
+    PAGE_SIZE,
+    AccessKind,
+    CPUAccess,
+    MemoryAccess,
+)
+from repro.trace.trace import CPUTrace, Trace, interleave
+from repro.trace.io import (
+    load_cpu_trace,
+    load_trace,
+    read_text_cpu_trace,
+    read_text_trace,
+    save_cpu_trace,
+    save_trace,
+    write_text_cpu_trace,
+    write_text_trace,
+)
+from repro.trace.mrc import MissRatioCurve, miss_ratio_curve, stack_distances
+from repro.trace.stats import WorkloadStats, characterize, page_popularity
+from repro.trace import transform
+
+__all__ = [
+    "ACCESS_SIZE",
+    "PAGE_SIZE",
+    "AccessKind",
+    "CPUAccess",
+    "CPUTrace",
+    "MemoryAccess",
+    "MissRatioCurve",
+    "Trace",
+    "WorkloadStats",
+    "characterize",
+    "interleave",
+    "load_cpu_trace",
+    "load_trace",
+    "miss_ratio_curve",
+    "page_popularity",
+    "read_text_cpu_trace",
+    "read_text_trace",
+    "save_cpu_trace",
+    "save_trace",
+    "stack_distances",
+    "transform",
+    "write_text_cpu_trace",
+    "write_text_trace",
+]

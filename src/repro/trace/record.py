@@ -1,0 +1,89 @@
+"""Access records: the atoms every simulator layer consumes and produces.
+
+Two granularities exist in the pipeline:
+
+* :class:`CPUAccess` — a byte-addressed load/store as issued by a core,
+  *before* cache filtering (the COTSon-level view).
+* :class:`MemoryAccess` — a page-granularity request that reached main
+  memory, *after* cache filtering (the view the paper's models consume).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+#: Default page size used throughout the reproduction (paper Section II-A).
+PAGE_SIZE = 4096
+
+#: Default memory access granularity: one 64 B cache line (Table II).
+ACCESS_SIZE = 64
+
+
+class AccessKind(enum.IntEnum):
+    """Request direction.
+
+    ``IntEnum`` so records can be packed into numpy integer arrays.
+    """
+
+    READ = 0
+    WRITE = 1
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessKind.WRITE
+
+    @classmethod
+    def from_is_write(cls, is_write: bool) -> "AccessKind":
+        return cls.WRITE if is_write else cls.READ
+
+    @classmethod
+    def parse(cls, token: str) -> "AccessKind":
+        """Parse a one-letter trace token (``R``/``W``, case-insensitive)."""
+        normalized = token.strip().upper()
+        if normalized in ("R", "READ", "0"):
+            return cls.READ
+        if normalized in ("W", "WRITE", "1"):
+            return cls.WRITE
+        raise ValueError(f"unknown access kind token: {token!r}")
+
+    @property
+    def token(self) -> str:
+        return "W" if self is AccessKind.WRITE else "R"
+
+
+class MemoryAccess(NamedTuple):
+    """A single page-granularity request arriving at main memory."""
+
+    page: int
+    kind: AccessKind
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.WRITE
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.token} page={self.page}"
+
+
+class CPUAccess(NamedTuple):
+    """A single byte-addressed request issued by a CPU core."""
+
+    address: int
+    kind: AccessKind
+    core: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.WRITE
+
+    def page(self, page_size: int = PAGE_SIZE) -> int:
+        """Page number containing this address."""
+        return self.address // page_size
+
+    def line(self, line_size: int = ACCESS_SIZE) -> int:
+        """Cache-line number containing this address."""
+        return self.address // line_size
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.token} 0x{self.address:x} core={self.core}"

@@ -1,0 +1,358 @@
+"""Trace containers.
+
+A :class:`Trace` is an immutable, named sequence of page-granularity
+memory requests.  Internally it stores parallel numpy arrays (page
+numbers and write flags) so that multi-hundred-thousand-request traces
+stay compact and fast to iterate; externally it behaves like a sequence
+of :class:`~repro.trace.record.MemoryAccess`.
+
+A :class:`CPUTrace` is the byte-addressed, per-core equivalent consumed
+by the cache-hierarchy filter in :mod:`repro.cpu`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.trace.record import (
+    ACCESS_SIZE,
+    PAGE_SIZE,
+    AccessKind,
+    CPUAccess,
+    MemoryAccess,
+)
+
+
+class Trace:
+    """An immutable sequence of main-memory page requests.
+
+    Parameters
+    ----------
+    pages:
+        Page number per request.
+    is_write:
+        Write flag per request (same length as ``pages``).
+    name:
+        Human-readable workload name (shows up in reports).
+    page_size:
+        Page size in bytes the page numbers refer to.
+    """
+
+    __slots__ = ("_pages", "_is_write", "name", "page_size")
+
+    def __init__(
+        self,
+        pages: Sequence[int] | np.ndarray,
+        is_write: Sequence[bool] | np.ndarray,
+        name: str = "trace",
+        page_size: int = PAGE_SIZE,
+    ) -> None:
+        pages_arr = np.asarray(pages, dtype=np.int64)
+        write_arr = np.asarray(is_write, dtype=bool)
+        if pages_arr.ndim != 1 or write_arr.ndim != 1:
+            raise ValueError("trace arrays must be one-dimensional")
+        if pages_arr.shape != write_arr.shape:
+            raise ValueError(
+                f"pages ({pages_arr.shape[0]}) and is_write "
+                f"({write_arr.shape[0]}) lengths differ"
+            )
+        if pages_arr.size and pages_arr.min() < 0:
+            raise ValueError("page numbers must be non-negative")
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self._pages = pages_arr
+        self._is_write = write_arr
+        self.name = name
+        self.page_size = page_size
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_accesses(
+        cls,
+        accesses: Iterable[MemoryAccess | tuple[int, AccessKind]],
+        name: str = "trace",
+        page_size: int = PAGE_SIZE,
+    ) -> "Trace":
+        pages: list[int] = []
+        writes: list[bool] = []
+        for access in accesses:
+            page, kind = access
+            pages.append(page)
+            writes.append(AccessKind(kind) is AccessKind.WRITE)
+        return cls(pages, writes, name=name, page_size=page_size)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[tuple[int, bool]],
+        name: str = "trace",
+        page_size: int = PAGE_SIZE,
+    ) -> "Trace":
+        """Build from ``(page, is_write)`` pairs."""
+        pages: list[int] = []
+        writes: list[bool] = []
+        for page, is_write in pairs:
+            pages.append(page)
+            writes.append(bool(is_write))
+        return cls(pages, writes, name=name, page_size=page_size)
+
+    @classmethod
+    def empty(cls, name: str = "trace", page_size: int = PAGE_SIZE) -> "Trace":
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool),
+                   name=name, page_size=page_size)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._pages.shape[0])
+
+    def __getitem__(self, index: int | slice) -> "MemoryAccess | Trace":
+        if isinstance(index, slice):
+            return Trace(
+                self._pages[index],
+                self._is_write[index],
+                name=self.name,
+                page_size=self.page_size,
+            )
+        return MemoryAccess(
+            int(self._pages[index]),
+            AccessKind.from_is_write(bool(self._is_write[index])),
+        )
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for page, is_write in zip(self._pages.tolist(), self._is_write.tolist()):
+            yield MemoryAccess(page, AccessKind.from_is_write(is_write))
+
+    def iter_pairs(self) -> Iterator[tuple[int, bool]]:
+        """Fast iteration as plain ``(page, is_write)`` python pairs.
+
+        This is the hot path of every simulation loop; it avoids
+        constructing a ``MemoryAccess`` object per request.
+        """
+        return zip(self._pages.tolist(), self._is_write.tolist())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            self.page_size == other.page_size
+            and np.array_equal(self._pages, other._pages)
+            and np.array_equal(self._is_write, other._is_write)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, requests={len(self)}, "
+            f"pages={self.unique_pages}, writes={self.write_count})"
+        )
+
+    # ------------------------------------------------------------------
+    # Raw views and summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def pages(self) -> np.ndarray:
+        """Read-only page-number array."""
+        view = self._pages.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def is_write(self) -> np.ndarray:
+        """Read-only write-flag array."""
+        view = self._is_write.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def read_count(self) -> int:
+        return len(self) - self.write_count
+
+    @property
+    def write_count(self) -> int:
+        return int(self._is_write.sum())
+
+    @property
+    def unique_pages(self) -> int:
+        if not len(self):
+            return 0
+        return int(np.unique(self._pages).shape[0])
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Working-set size in bytes (distinct pages x page size)."""
+        return self.unique_pages * self.page_size
+
+    @property
+    def write_ratio(self) -> float:
+        return self.write_count / len(self) if len(self) else 0.0
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def renamed(self, name: str) -> "Trace":
+        return Trace(self._pages, self._is_write, name=name,
+                     page_size=self.page_size)
+
+    def concat(self, other: "Trace") -> "Trace":
+        if other.page_size != self.page_size:
+            raise ValueError("cannot concatenate traces with different page sizes")
+        return Trace(
+            np.concatenate([self._pages, other._pages]),
+            np.concatenate([self._is_write, other._is_write]),
+            name=self.name,
+            page_size=self.page_size,
+        )
+
+
+class CPUTrace:
+    """An immutable sequence of byte-addressed CPU requests."""
+
+    __slots__ = ("_addresses", "_is_write", "_cores", "name")
+
+    def __init__(
+        self,
+        addresses: Sequence[int] | np.ndarray,
+        is_write: Sequence[bool] | np.ndarray,
+        cores: Sequence[int] | np.ndarray | None = None,
+        name: str = "cpu-trace",
+    ) -> None:
+        addr_arr = np.asarray(addresses, dtype=np.int64)
+        write_arr = np.asarray(is_write, dtype=bool)
+        if cores is None:
+            core_arr = np.zeros(addr_arr.shape[0], dtype=np.int16)
+        else:
+            core_arr = np.asarray(cores, dtype=np.int16)
+        if not (addr_arr.shape == write_arr.shape == core_arr.shape):
+            raise ValueError("cpu trace arrays must share one length")
+        if addr_arr.size and addr_arr.min() < 0:
+            raise ValueError("addresses must be non-negative")
+        self._addresses = addr_arr
+        self._is_write = write_arr
+        self._cores = core_arr
+        self.name = name
+
+    @classmethod
+    def from_accesses(
+        cls, accesses: Iterable[CPUAccess], name: str = "cpu-trace"
+    ) -> "CPUTrace":
+        addresses: list[int] = []
+        writes: list[bool] = []
+        cores: list[int] = []
+        for access in accesses:
+            addresses.append(access.address)
+            writes.append(access.is_write)
+            cores.append(access.core)
+        return cls(addresses, writes, cores, name=name)
+
+    def __len__(self) -> int:
+        return int(self._addresses.shape[0])
+
+    def __getitem__(self, index: int) -> CPUAccess:
+        return CPUAccess(
+            int(self._addresses[index]),
+            AccessKind.from_is_write(bool(self._is_write[index])),
+            int(self._cores[index]),
+        )
+
+    def __iter__(self) -> Iterator[CPUAccess]:
+        for address, is_write, core in zip(
+            self._addresses.tolist(), self._is_write.tolist(), self._cores.tolist()
+        ):
+            yield CPUAccess(address, AccessKind.from_is_write(is_write), core)
+
+    def iter_tuples(self) -> Iterator[tuple[int, bool, int]]:
+        """Fast iteration as ``(address, is_write, core)`` python tuples."""
+        return zip(
+            self._addresses.tolist(),
+            self._is_write.tolist(),
+            self._cores.tolist(),
+        )
+
+    def __repr__(self) -> str:
+        return f"CPUTrace(name={self.name!r}, requests={len(self)})"
+
+    @property
+    def addresses(self) -> np.ndarray:
+        view = self._addresses.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def is_write(self) -> np.ndarray:
+        view = self._is_write.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def cores(self) -> np.ndarray:
+        view = self._cores.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def core_count(self) -> int:
+        if not len(self):
+            return 0
+        return int(self._cores.max()) + 1
+
+    def to_memory_trace(
+        self,
+        page_size: int = PAGE_SIZE,
+        name: str | None = None,
+    ) -> Trace:
+        """Collapse to page granularity *without* cache filtering.
+
+        Useful as an unfiltered baseline when studying what the cache
+        hierarchy removes (see :mod:`repro.cpu.filter` for the filtered
+        path).
+        """
+        return Trace(
+            self._addresses // page_size,
+            self._is_write,
+            name=name or self.name,
+            page_size=page_size,
+        )
+
+
+def interleave(traces: Sequence[Trace], name: str = "interleaved") -> Trace:
+    """Round-robin interleave several page traces into one.
+
+    Mimics how requests from concurrent processes mix at the memory
+    controller.  Traces of different lengths are exhausted in round-robin
+    order; page numbers are offset per source trace so address spaces do
+    not collide.
+    """
+    if not traces:
+        return Trace.empty(name=name)
+    page_size = traces[0].page_size
+    for trace in traces:
+        if trace.page_size != page_size:
+            raise ValueError("all traces must share a page size")
+    offsets = []
+    offset = 0
+    for trace in traces:
+        offsets.append(offset)
+        offset += (int(trace.pages.max()) + 1) if len(trace) else 0
+    iterators = [
+        zip(trace.pages.tolist(), trace.is_write.tolist()) for trace in traces
+    ]
+    pages: list[int] = []
+    writes: list[bool] = []
+    live = list(range(len(traces)))
+    while live:
+        still_live = []
+        for index in live:
+            try:
+                page, is_write = next(iterators[index])
+            except StopIteration:
+                continue
+            pages.append(page + offsets[index])
+            writes.append(is_write)
+            still_live.append(index)
+        live = still_live
+    return Trace(pages, writes, name=name, page_size=page_size)

@@ -1,0 +1,99 @@
+"""Trace transformations: remapping, splitting, sampling, perturbation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+
+def densify(trace: Trace) -> Trace:
+    """Remap page numbers onto ``0..unique_pages-1`` (first-touch order).
+
+    Policies only care about page identity, so densifying loses nothing
+    while letting frame-indexed bookkeeping use plain lists.
+    """
+    pages = np.asarray(trace.pages)
+    _, first_touch_order = np.unique(pages, return_index=True)
+    ordered = pages[np.sort(first_touch_order)]
+    mapping = {int(page): index for index, page in enumerate(ordered)}
+    remapped = np.fromiter(
+        (mapping[int(page)] for page in pages), dtype=np.int64, count=pages.size
+    )
+    return Trace(remapped, trace.is_write, name=trace.name,
+                 page_size=trace.page_size)
+
+
+def head(trace: Trace, count: int) -> Trace:
+    """First ``count`` requests."""
+    return trace[:count]
+
+
+def tail(trace: Trace, count: int) -> Trace:
+    """Last ``count`` requests."""
+    if count <= 0:
+        return trace[:0]
+    return trace[len(trace) - count:]
+
+
+def drop_warmup(trace: Trace, fraction: float) -> Trace:
+    """Drop the first ``fraction`` of requests (cold-start removal)."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    start = int(len(trace) * fraction)
+    return trace[start:]
+
+
+def subsample(trace: Trace, step: int) -> Trace:
+    """Keep every ``step``-th request (systematic sampling)."""
+    if step < 1:
+        raise ValueError("step must be >= 1")
+    return Trace(
+        np.asarray(trace.pages)[::step],
+        np.asarray(trace.is_write)[::step],
+        name=trace.name,
+        page_size=trace.page_size,
+    )
+
+
+def flip_writes(trace: Trace, write_ratio: float, seed: int = 0) -> Trace:
+    """Re-draw the read/write flags with a new write ratio.
+
+    Page sequence (and therefore locality) is preserved; only request
+    directions change.  Used by ablations that study read/write-mix
+    sensitivity independent of locality.
+    """
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError("write_ratio must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    writes = rng.random(len(trace)) < write_ratio
+    return Trace(trace.pages, writes, name=trace.name,
+                 page_size=trace.page_size)
+
+
+def remap_random(trace: Trace, seed: int = 0) -> Trace:
+    """Apply a random bijection to page numbers.
+
+    Destroys any spatial meaning of page ids while preserving temporal
+    locality — a sanity transform for policies, which must be invariant
+    under it.
+    """
+    rng = np.random.default_rng(seed)
+    pages = np.asarray(trace.pages)
+    unique = np.unique(pages)
+    shuffled = unique.copy()
+    rng.shuffle(shuffled)
+    mapping = {int(old): int(new) for old, new in zip(unique, shuffled)}
+    remapped = np.fromiter(
+        (mapping[int(page)] for page in pages), dtype=np.int64, count=pages.size
+    )
+    return Trace(remapped, trace.is_write, name=trace.name,
+                 page_size=trace.page_size)
+
+
+def split(trace: Trace, parts: int) -> list[Trace]:
+    """Split into ``parts`` contiguous chunks (last chunk may be short)."""
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    chunk = (len(trace) + parts - 1) // parts
+    return [trace[start:start + chunk] for start in range(0, len(trace), chunk)]

@@ -1,0 +1,90 @@
+"""Multi-programmed workload mixes.
+
+The paper's COTSon setup runs one multi-threaded PARSEC benchmark at a
+time, but the same machinery extends to consolidated servers running
+several programs against one hybrid memory.  A mix interleaves several
+rendered workloads round-robin (the memory controller's view of
+concurrent processes), re-sizes the machine for the combined footprint
+with the paper's rule, and blends the per-workload compute gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.specs import (
+    DEFAULT_DRAM_FRACTION,
+    DEFAULT_MEMORY_FRACTION,
+    HybridMemorySpec,
+)
+from repro.trace.trace import Trace, interleave
+from repro.workloads.parsec import WorkloadInstance, parsec_workload
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A consolidated multi-program workload."""
+
+    name: str
+    members: tuple[str, ...]
+    trace: Trace
+    spec: HybridMemorySpec
+    warmup_fraction: float
+    inter_request_gap: float
+
+
+def mix_workloads(
+    names: tuple[str, ...] | list[str],
+    request_scale: float | None = None,
+    footprint_scale: float | None = None,
+    memory_fraction: float = DEFAULT_MEMORY_FRACTION,
+    dram_fraction: float = DEFAULT_DRAM_FRACTION,
+    seed: int = 2016,
+) -> WorkloadMix:
+    """Interleave several PARSEC workloads into one mix.
+
+    Address spaces are kept disjoint (each member's pages are offset),
+    traces interleave round-robin, the machine is sized for the union
+    footprint, and the compute gap is the request-weighted mean of the
+    members' gaps.
+    """
+    if len(names) < 2:
+        raise ValueError("a mix needs at least two workloads")
+    kwargs = {}
+    if request_scale is not None:
+        kwargs["request_scale"] = request_scale
+    if footprint_scale is not None:
+        kwargs["footprint_scale"] = footprint_scale
+    instances: list[WorkloadInstance] = [
+        parsec_workload(name, seed=seed + index, **kwargs)
+        for index, name in enumerate(names)
+    ]
+    mix_name = "+".join(names)
+    trace = interleave([inst.trace for inst in instances], name=mix_name)
+
+    total_requests = sum(len(inst.trace) for inst in instances)
+    gap = sum(
+        inst.inter_request_gap * len(inst.trace) for inst in instances
+    ) / total_requests
+    # warm-up long enough to cover every member's own warm-up slice
+    warmup = max(inst.warmup_fraction for inst in instances)
+
+    # The devices carry each member's static compensation; reuse the
+    # first member's devices (compensations are footprint-ratio-based
+    # and therefore close across members at one footprint scale).
+    spec = HybridMemorySpec.for_footprint(
+        trace.unique_pages,
+        memory_fraction=memory_fraction,
+        dram_fraction=dram_fraction,
+        dram=instances[0].spec.dram,
+        nvm=instances[0].spec.nvm,
+        disk=instances[0].spec.disk,
+    )
+    return WorkloadMix(
+        name=mix_name,
+        members=tuple(names),
+        trace=trace,
+        spec=spec,
+        warmup_fraction=warmup,
+        inter_request_gap=gap,
+    )

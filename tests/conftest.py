@@ -1,0 +1,41 @@
+"""Shared fixtures: small deterministic traces and machine specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.devices import dram_spec, hdd_spec, pcm_spec
+from repro.memory.specs import HybridMemorySpec
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def small_spec() -> HybridMemorySpec:
+    """A tiny hybrid memory: 4 DRAM frames + 12 NVM frames."""
+    return HybridMemorySpec(
+        dram=dram_spec(),
+        nvm=pcm_spec(),
+        disk=hdd_spec(),
+        dram_pages=4,
+        nvm_pages=12,
+    )
+
+
+@pytest.fixture
+def zipf_trace() -> Trace:
+    """A 5k-request zipf trace over 64 pages, 30% writes."""
+    rng = np.random.default_rng(7)
+    pages = rng.zipf(1.3, 5000) % 64
+    writes = rng.random(5000) < 0.3
+    return Trace(pages, writes, name="zipf64")
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A hand-written 8-request trace (pages 0-3)."""
+    return Trace.from_pairs(
+        [(0, False), (1, True), (0, False), (2, False),
+         (3, True), (1, False), (0, True), (3, False)],
+        name="tiny",
+    )

@@ -1,0 +1,122 @@
+"""Tests for event accounting and Table I probability identities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.accounting import AccessAccounting, WearAccounting
+
+
+def _sample() -> AccessAccounting:
+    acct = AccessAccounting(
+        read_requests=70,
+        write_requests=30,
+        dram_read_hits=40,
+        dram_write_hits=20,
+        nvm_read_hits=25,
+        nvm_write_hits=8,
+        read_faults=5,
+        write_faults=2,
+        faults_filled_dram=6,
+        faults_filled_nvm=1,
+        migrations_to_dram=3,
+        migrations_to_nvm=4,
+        clean_evictions=2,
+        dirty_evictions=1,
+    )
+    acct.validate()
+    return acct
+
+
+class TestTotals:
+    def test_totals(self):
+        acct = _sample()
+        assert acct.total_requests == 100
+        assert acct.hits == 93
+        assert acct.page_faults == 7
+        assert acct.migrations == 7
+        assert acct.evictions_to_disk == 3
+
+    def test_probabilities_partition_unity(self):
+        acct = _sample()
+        assert acct.p_hit_dram + acct.p_hit_nvm + acct.p_miss == \
+            pytest.approx(1.0)
+
+    def test_within_module_shares(self):
+        acct = _sample()
+        assert acct.p_read_dram + acct.p_write_dram == pytest.approx(1.0)
+        assert acct.p_read_nvm + acct.p_write_nvm == pytest.approx(1.0)
+        assert acct.p_read_dram == pytest.approx(40 / 60)
+        assert acct.p_write_nvm == pytest.approx(8 / 33)
+
+    def test_fault_fill_shares(self):
+        acct = _sample()
+        assert acct.p_disk_to_dram == pytest.approx(6 / 7)
+        assert acct.p_disk_to_nvm == pytest.approx(1 / 7)
+
+    def test_migration_probabilities(self):
+        acct = _sample()
+        assert acct.p_mig_d == pytest.approx(0.03)
+        assert acct.p_mig_n == pytest.approx(0.04)
+
+    def test_empty_accounting_is_all_zero(self):
+        acct = AccessAccounting()
+        acct.validate()
+        assert acct.p_hit_dram == 0.0
+        assert acct.p_miss == 0.0
+        assert acct.hit_ratio == 0.0
+
+
+class TestValidation:
+    def test_detects_unbalanced_hits(self):
+        acct = _sample()
+        acct.dram_read_hits += 1
+        with pytest.raises(ValueError):
+            acct.validate()
+
+    def test_detects_unbalanced_fills(self):
+        acct = _sample()
+        acct.faults_filled_dram += 1  # fills no longer partition faults
+        with pytest.raises(ValueError):
+            acct.validate()
+
+    def test_detects_negative_counters(self):
+        acct = _sample()
+        acct.clean_evictions = -1
+        with pytest.raises(ValueError):
+            acct.validate()
+
+
+class TestMergeSnapshot:
+    def test_merge_adds_counters(self):
+        merged = _sample().merge(_sample())
+        assert merged.total_requests == 200
+        assert merged.migrations_to_dram == 6
+        merged.validate()
+
+    def test_snapshot_round_trip(self):
+        snap = _sample().snapshot()
+        rebuilt = AccessAccounting(**snap)
+        assert rebuilt == _sample()
+
+
+class TestWearAccounting:
+    def test_sources_accumulate(self):
+        wear = WearAccounting(page_factor=64)
+        wear.record_fault_fill(1)
+        wear.record_migration_in(1)
+        wear.record_request_write(1)
+        wear.record_request_write(2)
+        assert wear.fault_fill_writes == 64
+        assert wear.migration_writes == 64
+        assert wear.request_writes == 2
+        assert wear.total_writes == 130
+        assert wear.page_writes[1] == 129
+        assert wear.page_writes[2] == 1
+        assert wear.max_page_writes == 129
+        assert wear.touched_pages == 2
+
+    def test_page_factor_respected(self):
+        wear = WearAccounting(page_factor=8)
+        wear.record_fault_fill(0)
+        assert wear.total_writes == 8

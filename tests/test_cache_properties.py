@@ -1,0 +1,98 @@
+"""Property tests for the set-associative cache and the hierarchy.
+
+The cache is cross-checked against a naive per-set LRU model; the
+hierarchy is checked for the conservation laws the trace filter relies
+on (every miss produces exactly one memory read, every dirty line
+leaves the system exactly once).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cache import CacheGeometry, SetAssociativeCache
+from repro.cpu.hierarchy import CacheHierarchy
+
+_ACCESSES = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40), st.booleans()),
+    max_size=300,
+)
+
+
+class _NaiveCache:
+    """Reference: per-set ordered dicts, LRU order explicit."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self.sets = [OrderedDict() for _ in range(sets)]
+        self.ways = ways
+
+    def access(self, line: int, is_write: bool):
+        cache_set = self.sets[line % len(self.sets)]
+        if line in cache_set:
+            dirty = cache_set.pop(line)
+            cache_set[line] = dirty or is_write
+            return True, None
+        victim = None
+        if len(cache_set) >= self.ways:
+            victim_line, dirty = cache_set.popitem(last=False)
+            if dirty:
+                victim = victim_line
+        cache_set[line] = is_write
+        return False, victim
+
+
+@settings(max_examples=150, deadline=None)
+@given(accesses=_ACCESSES,
+       sets=st.sampled_from([1, 2, 4]),
+       ways=st.integers(min_value=1, max_value=4))
+def test_cache_matches_naive_model(accesses, sets, ways):
+    geometry = CacheGeometry(size_bytes=sets * ways * 64,
+                             associativity=ways, line_size=64)
+    cache = SetAssociativeCache(geometry)
+    model = _NaiveCache(sets, ways)
+    for line, is_write in accesses:
+        got = cache.access(line, is_write)
+        expected = model.access(line, is_write)
+        assert got == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    write_ratio=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_hierarchy_conservation(seed, write_ratio):
+    """Reads reaching memory == LLC fetch misses; after a full flush,
+    every line written anywhere has reached memory exactly once per
+    dirty generation (no lost or duplicated writebacks)."""
+    rng = np.random.default_rng(seed)
+    hierarchy = CacheHierarchy(
+        cores=2,
+        l1_geometry=CacheGeometry(256, 2),
+        llc_geometry=CacheGeometry(1024, 2),
+    )
+    events = []
+    for _ in range(400):
+        address = int(rng.integers(0, 64)) * 64
+        is_write = bool(rng.random() < write_ratio)
+        core = int(rng.integers(0, 2))
+        events.extend(hierarchy.access(address, is_write, core))
+    events.extend(hierarchy.flush())
+
+    reads = [line for line, w in events if not w]
+    writes = [line for line, w in events if w]
+    stats = hierarchy.stats
+    assert len(reads) == stats.memory_reads
+    assert len(writes) == stats.memory_writes
+    # conservation: a line can only be written back if it was fetched
+    # (or write-allocated) at some point — every written line appears
+    # among the lines the CPU touched
+    touched = {line for line, _ in events}
+    assert set(writes) <= touched
+    # after the flush nothing remains resident
+    assert hierarchy.llc.resident_lines == 0
+    assert all(l1.resident_lines == 0 for l1 in hierarchy.l1d)

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script must run and tell its story.
+
+Executed in-process (``runpy``) so failures surface as ordinary test
+errors with usable tracebacks.  The heavyweight full-grid example
+(``reproduce_paper.py``) runs in its --fast mode.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, argv: list[str] | None = None, capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [script] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys=capsys)
+    assert "dedup on three memory designs" in out
+    assert "proposed" in out and "clock-dwf" in out
+
+
+def test_full_system_pipeline(capsys):
+    out = _run("full_system_pipeline.py", capsys=capsys)
+    assert "main-memory accesses" in out
+    assert "hybrid memory on the filtered trace" in out
+
+
+def test_custom_policy(capsys):
+    out = _run("custom_policy.py", capsys=capsys)
+    assert "write-twice" in out
+    assert "eager-migration" in out
+
+
+def test_threshold_tuning(capsys):
+    out = _run("threshold_tuning.py", capsys=capsys)
+    assert "threshold sweep: raytrace" in out
+    assert "adaptive controller" in out
+
+
+def test_endurance_study(capsys):
+    out = _run("endurance_study.py", capsys=capsys)
+    assert "Start-Gap" in out
+    assert "levelling gain" in out
+
+
+def test_nvm_technology_study(capsys):
+    out = _run("nvm_technology_study.py", capsys=capsys)
+    assert "STT-RAM-like" in out
+
+
+@pytest.mark.slow
+def test_reproduce_paper_fast_mode(capsys):
+    out = _run("reproduce_paper.py", argv=["--fast"], capsys=capsys)
+    assert "Table III" in out
+    assert "fig4c" in out
+    assert "done in" in out

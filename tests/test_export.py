@@ -1,0 +1,81 @@
+"""Tests for CSV/JSON figure and sweep export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    figure_to_rows,
+    load_figure_json,
+    write_figure_csv,
+    write_figure_json,
+    write_sweep_csv,
+)
+from repro.experiments.results import FigureData
+from repro.experiments.sweep import SweepPoint
+
+
+@pytest.fixture
+def figure() -> FigureData:
+    figure = FigureData("figX", "demo figure", "normalized", ("A", "B"))
+    figure.add_bar("w1", A=0.25, B=0.75)
+    figure.add_bar("w1", group="right", A=1.5, B=0.5)
+    figure.append_means()
+    return figure
+
+
+class TestFigureExport:
+    def test_rows_flatten_bars(self, figure):
+        rows = figure_to_rows(figure)
+        assert rows[0]["label"] == "w1"
+        assert rows[0]["A"] == 0.25
+        assert rows[0]["total"] == pytest.approx(1.0)
+        assert rows[1]["group"] == "right"
+
+    def test_csv_round_trip(self, figure, tmp_path):
+        path = tmp_path / "fig.csv"
+        write_figure_csv(figure, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(figure.bars)
+        assert float(rows[0]["B"]) == pytest.approx(0.75)
+        assert rows[0]["figure"] == "figX"
+
+    def test_json_round_trip(self, figure, tmp_path):
+        path = tmp_path / "fig.json"
+        write_figure_json(figure, path)
+        loaded = load_figure_json(path)
+        assert loaded.figure_id == figure.figure_id
+        assert loaded.title == figure.title
+        assert loaded.series_order == figure.series_order
+        assert len(loaded.bars) == len(figure.bars)
+        for original, restored in zip(figure.bars, loaded.bars):
+            assert restored.label == original.label
+            assert restored.group == original.group
+            assert restored.total == pytest.approx(original.total)
+
+    def test_json_is_valid_document(self, figure, tmp_path):
+        path = tmp_path / "fig.json"
+        write_figure_json(figure, path)
+        document = json.loads(path.read_text())
+        assert document["series"] == ["A", "B"]
+        assert document["ylabel"] == "normalized"
+
+
+class TestSweepExport:
+    def test_sweep_csv(self, tmp_path):
+        points = [
+            SweepPoint("read_threshold", 1, 100.0, 90.0, 10.0, 5000, 40, 41),
+            SweepPoint("read_threshold", 8, 80.0, 70.0, 8.0, 4000, 10, 11),
+        ]
+        path = tmp_path / "sweep.csv"
+        write_sweep_csv(points, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[1]["value"] == "8"
+        assert float(rows[0]["amat_ns"]) == pytest.approx(100.0)
+        assert rows[0]["parameter"] == "read_threshold"

@@ -1,0 +1,84 @@
+"""Tests for multi-programmed workload mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mmu.simulator import simulate
+from repro.policies.registry import policy_factory
+from repro.workloads.mix import mix_workloads
+
+_SCALE = dict(request_scale=1 / 4000, footprint_scale=1 / 256)
+
+
+class TestMixConstruction:
+    def test_members_and_name(self):
+        mix = mix_workloads(("bodytrack", "streamcluster"), **_SCALE)
+        assert mix.name == "bodytrack+streamcluster"
+        assert mix.members == ("bodytrack", "streamcluster")
+
+    def test_requests_are_preserved(self):
+        mix = mix_workloads(("bodytrack", "streamcluster"), **_SCALE)
+        from repro.workloads.parsec import parsec_workload
+
+        a = parsec_workload("bodytrack", seed=2016, **_SCALE)
+        b = parsec_workload("streamcluster", seed=2017, **_SCALE)
+        assert len(mix.trace) == len(a.trace) + len(b.trace)
+
+    def test_address_spaces_disjoint(self):
+        mix = mix_workloads(("bodytrack", "canneal"), **_SCALE)
+        from repro.workloads.parsec import parsec_workload
+
+        a = parsec_workload("bodytrack", seed=2016, **_SCALE)
+        b = parsec_workload("canneal", seed=2017, **_SCALE)
+        # union footprint = sum of member footprints (no collisions)
+        assert mix.trace.unique_pages == \
+            a.trace.unique_pages + b.trace.unique_pages
+
+    def test_gap_is_request_weighted(self):
+        mix = mix_workloads(("blackscholes", "streamcluster"), **_SCALE)
+        from repro.workloads.parsec import PROFILES
+
+        fast = PROFILES["streamcluster"].compute_gap_ns * 1e-9
+        slow = PROFILES["blackscholes"].compute_gap_ns * 1e-9
+        assert fast < mix.inter_request_gap < slow
+        # streamcluster dominates the request count, so the mean leans
+        # toward its (tiny) gap
+        assert mix.inter_request_gap < (fast + slow) / 2
+
+    def test_spec_sized_for_union(self):
+        mix = mix_workloads(("bodytrack", "canneal"), **_SCALE)
+        assert mix.spec.total_pages == pytest.approx(
+            0.75 * mix.trace.unique_pages, rel=0.05
+        )
+
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError):
+            mix_workloads(("bodytrack",), **_SCALE)
+
+
+class TestMixSimulation:
+    def test_policies_run_on_mixes(self):
+        mix = mix_workloads(("bodytrack", "streamcluster"), **_SCALE)
+        for policy in ("proposed", "clock-dwf"):
+            result = simulate(
+                mix.trace, mix.spec, policy_factory(policy),
+                inter_request_gap=mix.inter_request_gap,
+                warmup_fraction=mix.warmup_fraction,
+            )
+            result.accounting.validate()
+            assert result.hit_ratio > 0.5
+
+    def test_proposed_still_beats_dwf_on_mix(self):
+        mix = mix_workloads(("bodytrack", "vips", "canneal"), **_SCALE)
+        proposed = simulate(
+            mix.trace, mix.spec, policy_factory("proposed"),
+            warmup_fraction=mix.warmup_fraction,
+        )
+        dwf = simulate(
+            mix.trace, mix.spec, policy_factory("clock-dwf"),
+            warmup_fraction=mix.warmup_fraction,
+        )
+        assert proposed.performance.memory_time < \
+            dwf.performance.memory_time
+        assert proposed.nvm_writes.total < dwf.nvm_writes.total

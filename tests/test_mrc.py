@@ -1,0 +1,120 @@
+"""Tests for miss-ratio curves, validated against real LRU simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.replacement import LRUReplacement
+from repro.trace.mrc import miss_ratio_curve, stack_distances
+from repro.trace.trace import Trace
+
+
+def _lru_miss_ratio(trace: Trace, capacity: int) -> float:
+    """Ground truth: actually run an LRU of the given capacity."""
+    lru = LRUReplacement(capacity)
+    misses = 0
+    for page, _ in trace.iter_pairs():
+        if page in lru:
+            lru.hit(page)
+        else:
+            misses += 1
+            if lru.full:
+                lru.evict()
+            lru.insert(page)
+    return misses / len(trace)
+
+
+class TestStackDistances:
+    def test_first_touches_are_minus_one(self):
+        trace = Trace([1, 2, 3], [False] * 3)
+        assert stack_distances(trace).tolist() == [-1, -1, -1]
+
+    def test_immediate_reuse_is_zero(self):
+        trace = Trace([1, 1, 1], [False] * 3)
+        assert stack_distances(trace).tolist() == [-1, 0, 0]
+
+    def test_classic_example(self):
+        # a b c a : 'a' has two distinct pages on top when reused
+        trace = Trace([1, 2, 3, 1], [False] * 4)
+        assert stack_distances(trace).tolist() == [-1, -1, -1, 2]
+
+    def test_sample_cap(self):
+        trace = Trace(list(range(100)), [False] * 100)
+        assert stack_distances(trace, sample_cap=10).shape[0] == 10
+
+
+class TestMissRatioCurve:
+    def test_monotone_nonincreasing(self, zipf_trace):
+        curve = miss_ratio_curve(zipf_trace)
+        ratios = list(curve.miss_ratios)
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_full_capacity_leaves_only_cold_misses(self, zipf_trace):
+        curve = miss_ratio_curve(zipf_trace)
+        assert curve.miss_ratio_at(zipf_trace.unique_pages) == \
+            pytest.approx(curve.compulsory_miss_ratio)
+
+    def test_matches_real_lru_simulation(self, zipf_trace):
+        """The inclusion-property shortcut must agree exactly with an
+        actual LRU run at every tested capacity."""
+        capacities = (4, 8, 16, 32, 64)
+        curve = miss_ratio_curve(zipf_trace, capacities=capacities)
+        for capacity, predicted in zip(capacities, curve.miss_ratios):
+            assert predicted == pytest.approx(
+                _lru_miss_ratio(zipf_trace, capacity)
+            ), capacity
+
+    def test_loop_cliff(self):
+        """A loop of N pages has the famous LRU cliff: ~100% misses
+        below N, ~0% above."""
+        loop = Trace(list(range(20)) * 50, [False] * 1000)
+        curve = miss_ratio_curve(loop, capacities=(10, 19, 20, 25))
+        assert curve.miss_ratio_at(10) > 0.95
+        assert curve.miss_ratio_at(19) > 0.95
+        assert curve.miss_ratio_at(20) < 0.05
+        assert curve.miss_ratio_at(25) < 0.05
+
+    def test_capacity_for_target(self, zipf_trace):
+        curve = miss_ratio_curve(zipf_trace)
+        capacity = curve.capacity_for(0.05)
+        assert curve.miss_ratio_at(capacity) <= 0.05 or \
+            capacity == curve.capacities[-1]
+
+    def test_empty_trace(self):
+        curve = miss_ratio_curve(Trace.empty())
+        assert curve.total_accesses == 0
+        assert curve.compulsory_miss_ratio == 0.0
+
+    def test_paper_sizing_rule_context(self):
+        """For a PARSEC-like hot-set trace, the paper's 75%-of-footprint
+        capacity sits past the knee: most of the attainable hit ratio
+        is already banked there."""
+        from repro.workloads.synthetic import zipf_workload
+
+        trace = zipf_workload(pages=200, requests=30_000, alpha=1.2,
+                              seed=9)
+        curve = miss_ratio_curve(trace)
+        capacity = round(0.75 * trace.unique_pages)
+        at_rule = curve.miss_ratio_at(capacity)
+        at_half_rule = curve.miss_ratio_at(capacity // 2)
+        floor = curve.compulsory_miss_ratio
+        # the knee: halving the capacity hurts much more than the rule
+        # itself gives up relative to the compulsory floor
+        assert (at_half_rule - floor) > 2 * (at_rule - floor)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pages=st.lists(st.integers(min_value=0, max_value=30),
+                   min_size=1, max_size=250),
+    capacity=st.integers(min_value=1, max_value=12),
+)
+def test_mrc_equals_lru_for_any_trace(pages, capacity):
+    trace = Trace(pages, [False] * len(pages))
+    curve = miss_ratio_curve(trace, capacities=(capacity,))
+    assert curve.miss_ratios[0] == pytest.approx(
+        _lru_miss_ratio(trace, capacity)
+    )

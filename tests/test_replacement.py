@@ -1,0 +1,155 @@
+"""Tests for single-tier replacement algorithms: LRU and CLOCK."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.replacement import ClockReplacement, LRUReplacement
+
+
+class TestLRUReplacement:
+    def test_evicts_least_recent(self):
+        lru = LRUReplacement(2)
+        lru.insert(1)
+        lru.insert(2)
+        lru.hit(1)
+        assert lru.evict() == 2
+
+    def test_insert_full_raises(self):
+        lru = LRUReplacement(1)
+        lru.insert(1)
+        with pytest.raises(MemoryError):
+            lru.insert(2)
+
+    def test_remove(self):
+        lru = LRUReplacement(3)
+        for page in (1, 2, 3):
+            lru.insert(page)
+        lru.remove(2)
+        assert 2 not in lru
+        assert len(lru) == 2
+        lru.validate()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUReplacement(0)
+
+
+class TestClockReplacement:
+    def test_second_chance(self):
+        clock = ClockReplacement(3)
+        for page in (1, 2, 3):
+            clock.insert(page)
+        # first eviction sweeps all the arrival bits and takes page 1
+        assert clock.evict() == 1
+        # pages 2 and 3 now have clear bits; a hit protects page 2
+        clock.hit(2)
+        assert clock.evict() == 3
+        assert 2 in clock
+        clock.validate()
+
+    def test_all_referenced_degrades_to_fifo(self):
+        clock = ClockReplacement(3)
+        for page in (1, 2, 3):
+            clock.insert(page)
+            clock.hit(page)
+        # every page gets its bit cleared; the first scanned is evicted
+        victim = clock.evict()
+        assert victim in (1, 2, 3)
+        assert len(clock) == 2
+
+    def test_remove_hand_position(self):
+        clock = ClockReplacement(3)
+        for page in (1, 2, 3):
+            clock.insert(page)
+        clock.remove(1)  # hand pointed at 1
+        assert 1 not in clock
+        assert len(clock.pages()) == 2
+        clock.evict()
+        clock.validate()
+
+    def test_remove_last_page_empties_ring(self):
+        clock = ClockReplacement(2)
+        clock.insert(1)
+        clock.remove(1)
+        assert len(clock) == 0
+        assert clock.pages() == []
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(IndexError):
+            ClockReplacement(2).evict()
+
+    def test_reinsert_after_evict(self):
+        clock = ClockReplacement(2)
+        clock.insert(1)
+        clock.insert(2)
+        victim = clock.evict()
+        clock.insert(victim)
+        assert victim in clock
+        assert len(clock) == 2
+
+    def test_duplicate_insert_rejected(self):
+        clock = ClockReplacement(2)
+        clock.insert(1)
+        with pytest.raises(KeyError):
+            clock.insert(1)
+
+
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["insert", "hit", "evict", "remove"]),
+              st.integers(min_value=0, max_value=9)),
+    max_size=150,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=_OPS, capacity=st.integers(min_value=1, max_value=5))
+def test_clock_structural_invariants(ops, capacity):
+    """Any operation sequence keeps the ring, index and capacity
+    consistent, and evict always returns a resident page."""
+    clock = ClockReplacement(capacity)
+    resident: set[int] = set()
+    for op, page in ops:
+        if op == "insert" and page not in resident and len(resident) < capacity:
+            clock.insert(page)
+            resident.add(page)
+        elif op == "hit" and page in resident:
+            clock.hit(page)
+        elif op == "evict" and resident:
+            victim = clock.evict()
+            assert victim in resident
+            resident.discard(victim)
+        elif op == "remove" and page in resident:
+            clock.remove(page)
+            resident.discard(page)
+        assert set(clock.pages()) == resident
+        assert len(clock) == len(resident)
+        clock.validate()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    accesses=st.lists(st.integers(min_value=0, max_value=20), max_size=200),
+    capacity=st.integers(min_value=1, max_value=8),
+)
+def test_lru_replacement_matches_queue_semantics(accesses, capacity):
+    """Driving LRUReplacement like a cache yields the textbook LRU
+    hit/miss sequence (cross-checked against an ordered-list model)."""
+    lru = LRUReplacement(capacity)
+    model: list[int] = []  # MRU first
+    for page in accesses:
+        if page in lru:
+            assert page in model
+            lru.hit(page)
+            model.remove(page)
+            model.insert(0, page)
+        else:
+            assert page not in model
+            if lru.full:
+                victim = lru.evict()
+                assert victim == model.pop()
+            lru.insert(page)
+            model.insert(0, page)
+        lru.validate()

@@ -1,0 +1,100 @@
+"""Coverage for the report renderer and the migration configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_CONFIG,
+    EAGER_CONFIG,
+    RELUCTANT_CONFIG,
+    MigrationConfig,
+)
+from repro.experiments.report import render_figure, render_table
+from repro.experiments.results import FigureData
+
+
+class TestMigrationConfig:
+    def test_defaults_follow_write_priority(self):
+        # bigger write window (counters survive longer) and lower write
+        # threshold (earlier promotion): writes get priority
+        assert DEFAULT_CONFIG.write_window_fraction > \
+            DEFAULT_CONFIG.read_window_fraction
+        assert DEFAULT_CONFIG.write_threshold < \
+            DEFAULT_CONFIG.read_threshold
+
+    def test_window_pages(self):
+        config = MigrationConfig(read_window_fraction=0.1,
+                                 write_window_fraction=0.2)
+        assert config.read_window_pages(100) == 10
+        assert config.write_window_pages(100) == 20
+        # non-zero fractions floor at one page
+        assert config.read_window_pages(3) == 1
+        assert MigrationConfig(read_window_fraction=0.0) \
+            .read_window_pages(100) == 0
+        assert config.read_window_pages(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationConfig(read_window_fraction=1.5)
+        with pytest.raises(ValueError):
+            MigrationConfig(write_threshold=-1)
+
+    def test_housekeeping_overhead_matches_paper(self):
+        # the paper: "about 0.04% for 4KB data pages"
+        overhead = DEFAULT_CONFIG.housekeeping_overhead()
+        assert overhead == pytest.approx(0.001, abs=0.001)
+        assert overhead < 0.002
+
+    def test_named_presets(self):
+        assert EAGER_CONFIG.read_threshold <= 1
+        assert RELUCTANT_CONFIG.read_threshold > \
+            DEFAULT_CONFIG.read_threshold
+
+
+class TestRenderTable:
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+        assert len(text.splitlines()) == 2
+
+    def test_column_alignment(self):
+        text = render_table(["x", "y"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        # separator width matches the widest cells
+        assert len(lines[1]) == len(lines[2])
+
+    def test_non_string_cells(self):
+        text = render_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestRenderFigure:
+    def test_empty_figure(self):
+        figure = FigureData("f", "t", "y", ("A",))
+        text = render_figure(figure)
+        assert "f: t" in text
+
+    def test_zero_valued_bars(self):
+        figure = FigureData("f", "t", "y", ("A", "B"))
+        figure.add_bar("w", A=0.0, B=0.0)
+        text = render_figure(figure)
+        assert "w" in text
+        assert "0.000" in text
+
+    def test_segments_scale_to_max(self):
+        figure = FigureData("f", "t", "y", ("A",))
+        figure.add_bar("small", A=1.0)
+        figure.add_bar("big", A=10.0)
+        text = render_figure(figure, bar_width=10)
+        lines = [line for line in text.splitlines() if "|" in line]
+        small_line = next(line for line in lines if "small" in line)
+        big_line = next(line for line in lines if "big" in line)
+        assert big_line.count("#") == 10
+        assert small_line.count("#") == 1
+
+    def test_grouped_labels(self):
+        figure = FigureData("f", "t", "y", ("A",))
+        figure.add_bar("w", group="left", A=1.0)
+        text = render_figure(figure)
+        assert "w/left" in text

@@ -1,0 +1,114 @@
+"""Tests for hybrid-memory sizing and migration cost helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.devices import dram_spec, hdd_spec, pcm_spec
+from repro.memory.specs import HybridMemorySpec
+
+
+def _spec(dram_pages=10, nvm_pages=90, **kwargs) -> HybridMemorySpec:
+    return HybridMemorySpec(
+        dram=dram_spec(), nvm=pcm_spec(), disk=hdd_spec(),
+        dram_pages=dram_pages, nvm_pages=nvm_pages, **kwargs,
+    )
+
+
+class TestPageFactor:
+    def test_default_is_64(self):
+        # 4 KB pages over 64 B lines (paper Section II-A + Table II)
+        assert _spec().page_factor == 64
+
+    def test_custom_granularity(self):
+        assert _spec(access_size=8).page_factor == 512
+
+    def test_page_size_must_be_multiple(self):
+        with pytest.raises(ValueError):
+            _spec(access_size=60)
+
+
+class TestSizingRule:
+    def test_for_footprint_follows_paper(self):
+        # memory = 75% of pages, DRAM = 10% of memory (Section V-A)
+        spec = HybridMemorySpec.for_footprint(1000)
+        assert spec.total_pages == 750
+        assert spec.dram_pages == 75
+        assert spec.nvm_pages == 675
+
+    def test_minimum_one_page_each(self):
+        spec = HybridMemorySpec.for_footprint(3)
+        assert spec.dram_pages >= 1
+        assert spec.nvm_pages >= 1
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            HybridMemorySpec.for_footprint(100, memory_fraction=0.0)
+        with pytest.raises(ValueError):
+            HybridMemorySpec.for_footprint(100, dram_fraction=1.5)
+        with pytest.raises(ValueError):
+            HybridMemorySpec.for_footprint(0)
+
+    def test_as_dram_only_preserves_capacity(self):
+        spec = _spec()
+        dram_only = spec.as_dram_only()
+        assert dram_only.total_pages == spec.total_pages
+        assert dram_only.nvm_pages == 0
+        assert dram_only.is_dram_only
+
+    def test_as_nvm_only_preserves_capacity(self):
+        spec = _spec()
+        nvm_only = spec.as_nvm_only()
+        assert nvm_only.total_pages == spec.total_pages
+        assert nvm_only.dram_pages == 0
+        assert nvm_only.is_nvm_only
+
+    def test_with_dram_fraction(self):
+        spec = _spec().with_dram_fraction(0.5)
+        assert spec.dram_pages == 50
+        assert spec.nvm_pages == 50
+        assert spec.total_pages == 100
+
+    def test_empty_memory_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(dram_pages=0, nvm_pages=0)
+
+
+class TestCosts:
+    def test_migration_latency_matches_eq1(self):
+        spec = _spec()
+        # PageFactor * (TRNVM + TWDRAM)
+        assert spec.migration_latency_to_dram() == pytest.approx(
+            64 * (100e-9 + 50e-9)
+        )
+        # PageFactor * (TRDRAM + TWNVM)
+        assert spec.migration_latency_to_nvm() == pytest.approx(
+            64 * (50e-9 + 350e-9)
+        )
+
+    def test_migration_energy_matches_eq2(self):
+        spec = _spec()
+        assert spec.migration_energy_to_dram() == pytest.approx(
+            64 * (6.4e-9 + 3.2e-9)
+        )
+        assert spec.migration_energy_to_nvm() == pytest.approx(
+            64 * (3.2e-9 + 32e-9)
+        )
+
+    def test_static_power_sums_modules(self):
+        spec = _spec(dram_pages=256, nvm_pages=0)
+        dram_only_power = spec.static_power
+        hybrid = _spec(dram_pages=128, nvm_pages=128)
+        # NVM static is 10x lower per GB, so the hybrid burns less
+        assert hybrid.static_power < dram_only_power
+        expected = (
+            dram_spec().static_power(128 * 4096)
+            + pcm_spec().static_power(128 * 4096)
+        )
+        assert hybrid.static_power == pytest.approx(expected)
+
+    def test_byte_capacities(self):
+        spec = _spec(dram_pages=2, nvm_pages=3)
+        assert spec.dram_bytes == 8192
+        assert spec.nvm_bytes == 12288
+        assert spec.total_bytes == 20480

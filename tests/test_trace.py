@@ -1,0 +1,171 @@
+"""Tests for trace records, containers and interleaving."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.record import ACCESS_SIZE, PAGE_SIZE, AccessKind, CPUAccess, MemoryAccess
+from repro.trace.trace import CPUTrace, Trace, interleave
+
+
+class TestAccessKind:
+    def test_parse_tokens(self):
+        assert AccessKind.parse("R") is AccessKind.READ
+        assert AccessKind.parse("w") is AccessKind.WRITE
+        assert AccessKind.parse("READ") is AccessKind.READ
+        assert AccessKind.parse("1") is AccessKind.WRITE
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            AccessKind.parse("x")
+
+    def test_round_trip_token(self):
+        for kind in AccessKind:
+            assert AccessKind.parse(kind.token) is kind
+
+    def test_from_is_write(self):
+        assert AccessKind.from_is_write(True) is AccessKind.WRITE
+        assert AccessKind.from_is_write(False) is AccessKind.READ
+
+
+class TestRecords:
+    def test_memory_access_fields(self):
+        access = MemoryAccess(42, AccessKind.WRITE)
+        assert access.page == 42
+        assert access.is_write
+
+    def test_cpu_access_page_and_line(self):
+        access = CPUAccess(PAGE_SIZE * 3 + 100, AccessKind.READ, core=2)
+        assert access.page() == 3
+        assert access.line() == (PAGE_SIZE * 3 + 100) // ACCESS_SIZE
+        assert access.core == 2
+        assert not access.is_write
+
+
+class TestTrace:
+    def test_construction_and_lengths(self, tiny_trace):
+        assert len(tiny_trace) == 8
+        assert tiny_trace.read_count == 5
+        assert tiny_trace.write_count == 3
+        assert tiny_trace.unique_pages == 4
+        assert tiny_trace.footprint_bytes == 4 * PAGE_SIZE
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2], [True])
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([-1], [False])
+
+    def test_indexing_and_slicing(self, tiny_trace):
+        assert tiny_trace[0] == MemoryAccess(0, AccessKind.READ)
+        assert tiny_trace[1].is_write
+        tail = tiny_trace[4:]
+        assert isinstance(tail, Trace)
+        assert len(tail) == 4
+        assert tail[0].page == 3
+
+    def test_iteration_matches_pairs(self, tiny_trace):
+        via_iter = [(a.page, a.is_write) for a in tiny_trace]
+        via_pairs = list(tiny_trace.iter_pairs())
+        assert via_iter == via_pairs
+
+    def test_equality(self, tiny_trace):
+        clone = Trace(tiny_trace.pages, tiny_trace.is_write)
+        assert clone == tiny_trace
+        assert tiny_trace != tiny_trace[1:]
+
+    def test_concat(self, tiny_trace):
+        joined = tiny_trace.concat(tiny_trace)
+        assert len(joined) == 16
+        assert joined[8] == tiny_trace[0]
+
+    def test_concat_page_size_mismatch(self, tiny_trace):
+        other = Trace([1], [False], page_size=8192)
+        with pytest.raises(ValueError):
+            tiny_trace.concat(other)
+
+    def test_arrays_are_read_only(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace.pages[0] = 9
+
+    def test_write_ratio(self, tiny_trace):
+        assert tiny_trace.write_ratio == pytest.approx(3 / 8)
+        assert Trace.empty().write_ratio == 0.0
+
+    def test_renamed(self, tiny_trace):
+        assert tiny_trace.renamed("other").name == "other"
+
+    def test_from_accesses(self):
+        trace = Trace.from_accesses(
+            [MemoryAccess(1, AccessKind.WRITE), (2, AccessKind.READ)]
+        )
+        assert len(trace) == 2
+        assert trace[0].is_write
+        assert not trace[1].is_write
+
+
+class TestCPUTrace:
+    def test_round_trip_accesses(self):
+        accesses = [
+            CPUAccess(0x1000, AccessKind.READ, 0),
+            CPUAccess(0x2040, AccessKind.WRITE, 3),
+        ]
+        trace = CPUTrace.from_accesses(accesses)
+        assert list(trace) == accesses
+        assert trace.core_count == 4
+
+    def test_to_memory_trace_unfiltered(self):
+        trace = CPUTrace([0, PAGE_SIZE, PAGE_SIZE + 8], [False, True, False])
+        memory = trace.to_memory_trace()
+        assert list(memory.pages) == [0, 1, 1]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CPUTrace([1, 2], [True], [0])
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        a = Trace([0, 1], [False, False], name="a")
+        b = Trace([0], [True], name="b")
+        merged = interleave([a, b])
+        # round robin: a0, b0, a1 — b offset by a's page span (2)
+        assert list(merged.pages) == [0, 2, 1]
+        assert list(merged.is_write) == [False, True, False]
+
+    def test_empty_input(self):
+        assert len(interleave([])) == 0
+
+    def test_no_page_collisions(self):
+        rng = np.random.default_rng(0)
+        traces = [
+            Trace(rng.integers(0, 50, 100), rng.random(100) < 0.5)
+            for _ in range(3)
+        ]
+        merged = interleave(traces)
+        assert len(merged) == 300
+        # each source's pages occupy a disjoint range
+        assert merged.unique_pages >= max(t.unique_pages for t in traces)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pages=st.lists(st.integers(min_value=0, max_value=1000), max_size=60),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_trace_roundtrip_properties(pages, seed):
+    rng = np.random.default_rng(seed)
+    writes = rng.random(len(pages)) < 0.5
+    trace = Trace(pages, writes)
+    assert len(trace) == len(pages)
+    assert trace.read_count + trace.write_count == len(trace)
+    assert trace.unique_pages == len(set(pages))
+    # slicing then concatenating reconstructs the trace
+    if len(trace) >= 2:
+        mid = len(trace) // 2
+        assert trace[:mid].concat(trace[mid:]) == trace

@@ -1,0 +1,103 @@
+"""Round-trip tests for trace file formats."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.trace.io import (
+    load_cpu_trace,
+    load_trace,
+    parse_text_trace,
+    read_text_cpu_trace,
+    read_text_trace,
+    save_cpu_trace,
+    save_trace,
+    write_text_cpu_trace,
+    write_text_trace,
+)
+from repro.trace.trace import CPUTrace, Trace
+
+
+@pytest.fixture
+def trace() -> Trace:
+    rng = np.random.default_rng(3)
+    return Trace(rng.integers(0, 100, 500), rng.random(500) < 0.4,
+                 name="roundtrip", page_size=8192)
+
+
+@pytest.fixture
+def cpu_trace() -> CPUTrace:
+    rng = np.random.default_rng(4)
+    return CPUTrace(
+        rng.integers(0, 1 << 20, 300),
+        rng.random(300) < 0.25,
+        rng.integers(0, 4, 300),
+        name="cpu-roundtrip",
+    )
+
+
+class TestTextFormat:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.trc"
+        write_text_trace(trace, path)
+        loaded = read_text_trace(path)
+        assert loaded == trace
+        assert loaded.name == "roundtrip"
+        assert loaded.page_size == 8192
+
+    def test_parse_comments_and_hex(self):
+        text = io.StringIO(
+            "# name: demo\n"
+            "# page_size: 4096\n"
+            "\n"
+            "R 0x10\n"
+            "W 17\n"
+        )
+        trace = parse_text_trace(text)
+        assert trace.name == "demo"
+        assert list(trace.pages) == [16, 17]
+        assert list(trace.is_write) == [False, True]
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_text_trace(io.StringIO("R\n"))
+
+    def test_parse_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            parse_text_trace(io.StringIO("Q 5\n"))
+
+    def test_cpu_round_trip(self, cpu_trace, tmp_path):
+        path = tmp_path / "cpu.trc"
+        write_text_cpu_trace(cpu_trace, path)
+        loaded = read_text_cpu_trace(path)
+        assert np.array_equal(loaded.addresses, cpu_trace.addresses)
+        assert np.array_equal(loaded.is_write, cpu_trace.is_write)
+        assert np.array_equal(loaded.cores, cpu_trace.cores)
+        assert loaded.name == cpu_trace.name
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded == trace
+        assert loaded.name == trace.name
+
+    def test_cpu_round_trip(self, cpu_trace, tmp_path):
+        path = tmp_path / "cpu.npz"
+        save_cpu_trace(cpu_trace, path)
+        loaded = load_cpu_trace(path)
+        assert np.array_equal(loaded.addresses, cpu_trace.addresses)
+        assert np.array_equal(loaded.cores, cpu_trace.cores)
+        assert loaded.name == cpu_trace.name
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trace(Trace.empty(name="nothing"), path)
+        loaded = load_trace(path)
+        assert len(loaded) == 0
+        assert loaded.name == "nothing"

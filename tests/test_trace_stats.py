@@ -1,0 +1,82 @@
+"""Tests for workload characterisation (Table III statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.stats import characterize, page_popularity, write_popularity
+from repro.trace.trace import Trace
+
+
+class TestCharacterize:
+    def test_tiny_trace(self, tiny_trace):
+        stats = characterize(tiny_trace)
+        assert stats.read_requests == 5
+        assert stats.write_requests == 3
+        assert stats.unique_pages == 4
+        assert stats.working_set_kb == 4 * 4096 // 1024
+        assert stats.total_requests == 8
+        assert stats.accesses_per_page == pytest.approx(2.0)
+
+    def test_empty_trace(self):
+        stats = characterize(Trace.empty())
+        assert stats.total_requests == 0
+        assert stats.unique_pages == 0
+
+    def test_write_ratio(self, tiny_trace):
+        stats = characterize(tiny_trace)
+        assert stats.write_ratio == pytest.approx(3 / 8)
+        assert stats.read_ratio == pytest.approx(5 / 8)
+
+    def test_table_row_format(self, tiny_trace):
+        name, wss, reads, writes = characterize(tiny_trace).table_row()
+        assert name == "tiny"
+        assert "(62%)" in reads or "(63%)" in reads
+        assert "(38%)" in writes or "(37%)" in writes
+
+    def test_burst_detection(self):
+        trace = Trace([1, 1, 1, 1, 2, 3, 3], [False] * 7)
+        assert characterize(trace).max_burst_length == 4
+
+    def test_cold_page_fraction(self):
+        # pages 1 and 2 touched repeatedly, 3..6 touched once
+        pages = [1, 2, 1, 2, 3, 4, 5, 6]
+        stats = characterize(Trace(pages, [False] * 8))
+        assert stats.cold_page_fraction == pytest.approx(4 / 6)
+
+    def test_reuse_distance_of_alternating_pages(self):
+        # A B A B ... : each reuse has stack distance 1
+        pages = [0, 1] * 50
+        stats = characterize(Trace(pages, [False] * 100))
+        assert stats.median_reuse_distance == pytest.approx(1.0)
+
+    def test_top_decile_share_for_skewed_trace(self):
+        # one page dominates accesses over a 20-page universe
+        pages = [0] * 900 + list(range(20)) * 5
+        rng = np.random.default_rng(0)
+        rng.shuffle(pages)
+        stats = characterize(Trace(pages, [False] * len(pages)))
+        assert stats.top_decile_share > 0.85
+
+    def test_uniform_trace_has_low_skew(self):
+        rng = np.random.default_rng(1)
+        pages = rng.integers(0, 100, 5000)
+        stats = characterize(Trace(pages, [False] * 5000))
+        assert stats.top_decile_share < 0.25
+
+
+class TestPopularity:
+    def test_page_popularity_sorted_descending(self, zipf_trace):
+        counts = page_popularity(zipf_trace)
+        assert counts.shape[0] == zipf_trace.unique_pages
+        assert (np.diff(counts) <= 0).all()
+        assert counts.sum() == len(zipf_trace)
+
+    def test_write_popularity_counts_only_writes(self, zipf_trace):
+        counts = write_popularity(zipf_trace)
+        assert counts.sum() == zipf_trace.write_count
+
+    def test_write_popularity_empty_for_read_only(self):
+        trace = Trace([1, 2, 3], [False] * 3)
+        assert write_popularity(trace).shape[0] == 0

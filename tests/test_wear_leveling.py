@@ -1,0 +1,95 @@
+"""Tests for Start-Gap wear levelling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.wear_leveling import StartGapLeveler, replay_writes
+
+
+class TestMapping:
+    def test_initial_mapping_is_identity(self):
+        leveler = StartGapLeveler(4)
+        assert [leveler.physical_of(i) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_mapping_is_always_a_bijection(self):
+        leveler = StartGapLeveler(5, gap_write_interval=1)
+        for write in range(200):
+            leveler.write(write % 5)
+            leveler.check()
+
+    def test_gap_rotation_changes_mapping(self):
+        leveler = StartGapLeveler(4, gap_write_interval=1)
+        before = [leveler.physical_of(i) for i in range(4)]
+        for _ in range(6):
+            leveler.write(0)
+        after = [leveler.physical_of(i) for i in range(4)]
+        assert before != after
+
+    def test_out_of_range_rejected(self):
+        leveler = StartGapLeveler(4)
+        with pytest.raises(IndexError):
+            leveler.physical_of(4)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StartGapLeveler(0)
+        with pytest.raises(ValueError):
+            StartGapLeveler(4, gap_write_interval=0)
+
+
+class TestWearSpreading:
+    def test_single_hot_line_gets_spread(self):
+        """The Start-Gap promise: a single hot logical line must not
+        wear a single physical line."""
+        frames = 16
+        hot_writes = [0] * 20_000
+        unlevelled = replay_writes(hot_writes, frames)
+        levelled = replay_writes(hot_writes, frames, gap_write_interval=16)
+        assert unlevelled.max_frame_writes == 20_000
+        assert levelled.max_frame_writes < 20_000 / 4
+        assert levelled.lifetime_gain_over(unlevelled) > 4.0
+
+    def test_skewed_stream(self):
+        rng = np.random.default_rng(0)
+        frames = 32
+        writes = (rng.zipf(1.5, 30_000) % frames).tolist()
+        unlevelled = replay_writes(writes, frames)
+        levelled = replay_writes(writes, frames, gap_write_interval=32)
+        assert levelled.imbalance < unlevelled.imbalance
+
+    def test_uniform_stream_not_made_worse(self):
+        rng = np.random.default_rng(1)
+        frames = 32
+        writes = rng.integers(0, frames, 30_000).tolist()
+        unlevelled = replay_writes(writes, frames)
+        levelled = replay_writes(writes, frames, gap_write_interval=64)
+        # overhead writes are bounded by 1/interval
+        assert levelled.total_writes <= unlevelled.total_writes * 1.05
+        assert levelled.imbalance < unlevelled.imbalance * 1.2
+
+    def test_overhead_accounting(self):
+        leveler = StartGapLeveler(8, gap_write_interval=10)
+        for write in range(100):
+            leveler.write(write % 8)
+        summary = leveler.summary()
+        assert summary.extra_moves == 10
+        assert summary.total_writes == 110
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    frames=st.integers(min_value=1, max_value=12),
+    interval=st.integers(min_value=1, max_value=20),
+    writes=st.lists(st.integers(min_value=0, max_value=11), max_size=300),
+)
+def test_start_gap_invariants(frames, interval, writes):
+    leveler = StartGapLeveler(frames, gap_write_interval=interval)
+    for logical in writes:
+        leveler.write(logical % frames)
+    leveler.check()
+    summary = leveler.summary()
+    assert summary.total_writes == len(writes) + summary.extra_moves
