@@ -1,0 +1,35 @@
+"""Static analysis and runtime sanitizing for the reproduction.
+
+The paper's comparisons are only meaningful while every policy charges
+its events through the same accounting path and every simulation is
+deterministic.  This package machine-checks those contracts:
+
+* :mod:`repro.analysis.lint` — a project-specific AST lint pass
+  (``python -m repro lint``) enforcing the bookkeeping and determinism
+  rules R001-R005 (see :mod:`repro.analysis.rules`).
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime wrapper that
+  re-validates the memory manager's invariants after every simulated
+  request (``HybridMemorySimulator(..., sanitize=True)`` or the
+  ``REPRO_SANITIZE=1`` environment default).
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.lint import lint_paths
+from repro.analysis.rules import DEFAULT_RULES, LintRule
+from repro.analysis.sanitizer import (
+    SANITIZE_ENV,
+    SanitizedPolicy,
+    SanitizerError,
+    sanitize_default,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "LintRule",
+    "SANITIZE_ENV",
+    "SanitizedPolicy",
+    "SanitizerError",
+    "lint_paths",
+    "sanitize_default",
+]

@@ -1,0 +1,38 @@
+"""The ``repro lint`` subcommand: run the rules, print, set exit code."""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence, TextIO
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.rules import DEFAULT_RULES
+
+
+def list_rules(stream: TextIO | None = None) -> int:
+    """Print the rule catalogue (``repro lint --list-rules``)."""
+    stream = stream if stream is not None else sys.stdout
+    for rule in DEFAULT_RULES:
+        print(f"{rule.rule_id}  {rule.title}", file=stream)
+    return 0
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Sequence[str] | None = None,
+    stream: TextIO | None = None,
+) -> int:
+    """Lint ``paths``; returns 0 when clean, 1 on findings, 2 on usage."""
+    stream = stream if stream is not None else sys.stdout
+    try:
+        findings = lint_paths(paths, select=select)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render(), file=stream)
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun}", file=stream)
+        return 1
+    return 0

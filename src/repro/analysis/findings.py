@@ -1,0 +1,39 @@
+"""Lint findings: what a rule reports and how it is rendered."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: ``# noqa`` / ``# noqa: R001,R003`` suppression comments on the
+#: offending line silence the listed rules (or every rule when bare).
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<ids>[A-Z0-9,\s]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """``file:line:col: rule-id message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def suppressed(finding: Finding, source_lines: list[str]) -> bool:
+    """True when the finding's line carries a matching ``noqa`` comment."""
+    if not 1 <= finding.line <= len(source_lines):
+        return False
+    match = _NOQA.search(source_lines[finding.line - 1])
+    if match is None:
+        return False
+    ids = match.group("ids")
+    if ids is None:
+        return True
+    wanted = {part.strip().upper() for part in ids.split(",") if part.strip()}
+    return finding.rule_id.upper() in wanted

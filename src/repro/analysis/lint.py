@@ -1,0 +1,76 @@
+"""Lint driver: collect files, build project context, run the rules."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.context import ProjectContext, SourceFile
+from repro.analysis.findings import Finding, suppressed
+from repro.analysis.rules import DEFAULT_RULES, LintRule
+
+#: Directories never worth linting.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    collected.add(candidate)
+        elif path.suffix == ".py":
+            collected.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(collected)
+
+
+def parse_files(
+    files: Iterable[Path],
+) -> tuple[list[SourceFile], list[Finding]]:
+    """Parse each file; unreadable/unparsable ones become R000 findings."""
+    sources: list[SourceFile] = []
+    errors: list[Finding] = []
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            errors.append(Finding(
+                path=str(path), line=line, col=1, rule_id="R000",
+                message=f"cannot parse: {exc}",
+            ))
+            continue
+        sources.append(SourceFile(path=path, text=text, tree=tree))
+    return sources, errors
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[LintRule] | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the lint rules over ``paths`` and return sorted findings.
+
+    ``select`` restricts the run to the given rule ids (e.g.
+    ``["R001", "R003"]``); ``rules`` substitutes the rule set entirely.
+    """
+    active = list(rules if rules is not None else DEFAULT_RULES)
+    if select is not None:
+        wanted = {rule_id.upper() for rule_id in select}
+        active = [rule for rule in active if rule.rule_id in wanted]
+    sources, findings = parse_files(iter_python_files(paths))
+    project = ProjectContext.build(sources)
+    for src in sources:
+        lines = src.lines
+        for rule in active:
+            for finding in rule.check(src, project):
+                if not suppressed(finding, lines):
+                    findings.append(finding)
+    return sorted(findings)

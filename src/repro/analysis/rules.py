@@ -1,0 +1,481 @@
+"""The project-specific lint rules (R001-R005).
+
+Each rule checks one contract the reproduction's correctness rests on:
+
+``R001``
+    Every concrete ``HybridMemoryPolicy.access`` override calls
+    ``mm.record_request(...)`` exactly once on every control-flow path,
+    so all policies are scored by identical bookkeeping (Eq. 1-3 divide
+    event counts by the request total this call maintains).
+``R002``
+    No unseeded randomness or wall-clock reads inside ``src/repro``:
+    RNGs must be ``numpy`` Generators flowing from an explicit seed.
+``R003``
+    No mutable default arguments.
+``R004``
+    Every concrete policy class that defines a ``name`` identifier is
+    registered in ``policies/registry.py``.
+``R005``
+    Latency/energy keyword arguments in the device-model layer
+    (``repro.memory``) must come from named constants, not inline
+    magic numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.context import ProjectContext, SourceFile, is_abstract
+from repro.analysis.findings import Finding
+
+#: Saturation value for the R001 path analysis: "two or more calls".
+_MANY = 2
+
+
+class LintRule:
+    """Base class: one rule, one ``check`` pass over a parsed file."""
+
+    rule_id: str = "R000"
+    title: str = "abstract rule"
+
+    def check(self, src: SourceFile,
+              project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, src: SourceFile, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            path=str(src.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# R001 — the accounting contract
+# ----------------------------------------------------------------------
+def _record_request_calls(node: ast.AST) -> int:
+    """``record_request`` call sites within one expression/statement head.
+
+    Does not descend into nested function/class definitions or lambdas
+    (those bodies do not run inline).
+    """
+    count = 0
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) \
+            else getattr(func, "id", "")
+        if name == "record_request":
+            count += 1
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef, ast.Lambda)):
+            continue
+        count += _record_request_calls(child)
+    return count
+
+
+def _saturate(count: int) -> int:
+    return min(count, _MANY)
+
+
+def _add_counts(counts: set[int], extra: int) -> set[int]:
+    if not extra:
+        return set(counts)
+    return {_saturate(value + extra) for value in counts}
+
+
+def _analyze_block(
+    stmts: Iterable[ast.stmt], counts: set[int]
+) -> tuple[set[int], set[int]]:
+    """Abstractly execute a statement list.
+
+    ``counts`` is the set of possible ``record_request`` call totals on
+    the paths reaching this block (saturated at :data:`_MANY`).
+    Returns ``(fallthrough_counts, return_counts)``; paths ending in
+    ``raise`` are dropped (error paths need not account a request).
+    """
+    returned: set[int] = set()
+    for stmt in stmts:
+        if not counts:
+            break  # remaining statements are unreachable
+        counts, exits = _analyze_stmt(stmt, counts)
+        returned |= exits
+    return counts, returned
+
+
+def _analyze_stmt(
+    stmt: ast.stmt, counts: set[int]
+) -> tuple[set[int], set[int]]:
+    if isinstance(stmt, ast.Return):
+        calls = _record_request_calls(stmt.value) if stmt.value else 0
+        return set(), _add_counts(counts, calls)
+
+    if isinstance(stmt, ast.Raise):
+        return set(), set()
+
+    if isinstance(stmt, ast.If):
+        after_test = _add_counts(counts, _record_request_calls(stmt.test))
+        then_fall, then_ret = _analyze_block(stmt.body, after_test)
+        else_fall, else_ret = _analyze_block(stmt.orelse, after_test)
+        return then_fall | else_fall, then_ret | else_ret
+
+    if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+        head = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) \
+            else stmt.test
+        base = _add_counts(counts, _record_request_calls(head))
+        body_fall, body_ret = _analyze_block(stmt.body, {0})
+        body_adds = any(value > 0 for value in body_fall | body_ret)
+        if body_adds:
+            # The body may run zero, one or many times.
+            fall = set(base)
+            for extra in (0, *body_fall, _MANY):
+                fall |= _add_counts(base, extra)
+        else:
+            fall = base
+        returned: set[int] = set()
+        for extra in body_ret:
+            returned |= _add_counts(base, extra)
+        if body_ret and body_adds:
+            returned.add(_MANY)
+        orelse_fall, orelse_ret = _analyze_block(stmt.orelse, fall)
+        return orelse_fall, returned | orelse_ret
+
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        calls = sum(
+            _record_request_calls(item.context_expr) for item in stmt.items
+        )
+        return _analyze_block(stmt.body, _add_counts(counts, calls))
+
+    if isinstance(stmt, ast.Try):
+        body_fall, body_ret = _analyze_block(stmt.body, counts)
+        fall = set(body_fall)
+        returned = set(body_ret)
+        for handler in stmt.handlers:
+            # The exception may fire before or after any body call.
+            entry = counts | body_fall
+            h_fall, h_ret = _analyze_block(handler.body, entry)
+            fall |= h_fall
+            returned |= h_ret
+        if stmt.orelse:
+            fall, o_ret = _analyze_block(stmt.orelse, fall)
+            returned |= o_ret
+        if stmt.finalbody:
+            fall, f_ret = _analyze_block(stmt.finalbody, fall)
+            returned |= f_ret
+        return fall, returned
+
+    if isinstance(stmt, ast.Match):
+        base = _add_counts(counts, _record_request_calls(stmt.subject))
+        fall = set(base)  # no case may match
+        returned = set()
+        for case in stmt.cases:
+            c_fall, c_ret = _analyze_block(case.body, base)
+            fall |= c_fall
+            returned |= c_ret
+        return fall, returned
+
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return counts, set()  # nested definitions do not run inline
+
+    if isinstance(stmt, (ast.Break, ast.Continue, ast.Pass,
+                         ast.Global, ast.Nonlocal,
+                         ast.Import, ast.ImportFrom)):
+        return counts, set()
+
+    # Simple statements: Expr, Assign, AugAssign, AnnAssign, Assert, ...
+    return _add_counts(counts, _record_request_calls(stmt)), set()
+
+
+def analyze_record_request_paths(func: ast.FunctionDef) -> set[int]:
+    """Possible ``record_request`` totals over all paths through ``func``.
+
+    Counts are saturated at 2 (= "two or more").
+    """
+    fallthrough, returned = _analyze_block(func.body, {0})
+    return fallthrough | returned
+
+
+class RecordRequestRule(LintRule):
+    """R001: ``access`` must charge the request exactly once per path."""
+
+    rule_id = "R001"
+    title = "policy access() must call mm.record_request exactly once"
+
+    def check(self, src: SourceFile,
+              project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not project.is_policy_class(node) or is_abstract(node):
+                continue
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == "access":
+                    yield from self._check_access(src, node, item)
+
+    def _check_access(self, src: SourceFile, cls: ast.ClassDef,
+                      func: ast.FunctionDef) -> Iterator[Finding]:
+        counts = analyze_record_request_paths(func)
+        if counts == {1}:
+            return
+        label = f"{cls.name}.access"
+        if counts == {0}:
+            message = (f"{label} never calls mm.record_request; every "
+                       "request must be counted exactly once")
+        elif 0 in counts and any(value >= 1 for value in counts):
+            message = (f"{label} skips mm.record_request on some "
+                       "control-flow paths; it must run exactly once "
+                       "on every path")
+        else:
+            message = (f"{label} may call mm.record_request more than "
+                       "once on a path; requests must be counted "
+                       "exactly once")
+        yield self.finding(src, func, message)
+
+
+# ----------------------------------------------------------------------
+# R002 — determinism
+# ----------------------------------------------------------------------
+#: ``numpy.random`` attributes that are seed-explicit and allowed.
+_NP_RANDOM_ALLOWED = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64",
+}
+#: Wall-clock reads that break replayability.
+_CLOCK_CALLS = {
+    ("time", "time"), ("time", "time_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+class DeterminismRule(LintRule):
+    """R002: randomness and time must flow from explicit seeds/inputs."""
+
+    rule_id = "R002"
+    title = "no unseeded randomness or wall-clock reads"
+
+    def check(self, src: SourceFile,
+              project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            src, node,
+                            "stdlib `random` is process-global state; "
+                            "use numpy Generators threaded from an "
+                            "explicit seed",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        src, node,
+                        "stdlib `random` is process-global state; use "
+                        "numpy Generators threaded from an explicit seed",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(src, node)
+
+    def _check_call(self, src: SourceFile,
+                    node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            if (isinstance(func, ast.Name) and func.id == "default_rng"
+                    and not node.args and not node.keywords):
+                yield self.finding(
+                    src, node,
+                    "default_rng() without a seed is entropy-seeded; "
+                    "pass the simulation seed through",
+                )
+            return
+        owner = func.value
+        owner_name = owner.id if isinstance(owner, ast.Name) else (
+            owner.attr if isinstance(owner, ast.Attribute) else ""
+        )
+        if (owner_name, func.attr) in _CLOCK_CALLS:
+            yield self.finding(
+                src, node,
+                f"wall-clock read `{owner_name}.{func.attr}()` makes "
+                "runs unreplayable; take timestamps as inputs",
+            )
+            return
+        # numpy legacy global RNG: np.random.<anything mutable>.
+        if (func.attr not in _NP_RANDOM_ALLOWED
+                and isinstance(owner, ast.Attribute)
+                and owner.attr == "random"
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id in ("np", "numpy")):
+            yield self.finding(
+                src, node,
+                f"legacy global RNG `np.random.{func.attr}` is shared "
+                "state; use np.random.default_rng(seed)",
+            )
+            return
+        if (func.attr == "default_rng" and not node.args
+                and not node.keywords):
+            yield self.finding(
+                src, node,
+                "default_rng() without a seed is entropy-seeded; pass "
+                "the simulation seed through",
+            )
+
+
+# ----------------------------------------------------------------------
+# R003 — mutable defaults
+# ----------------------------------------------------------------------
+_MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set,
+    ast.ListComp, ast.DictComp, ast.SetComp,
+)
+_MUTABLE_BUILTINS = {"list", "dict", "set", "bytearray"}
+
+
+class MutableDefaultRule(LintRule):
+    """R003: default argument values must be immutable."""
+
+    rule_id = "R003"
+    title = "no mutable default arguments"
+
+    def check(self, src: SourceFile,
+              project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                name = getattr(node, "name", "<lambda>")
+                defaults = list(node.args.defaults)
+                defaults += [d for d in node.args.kw_defaults if d is not None]
+                for default in defaults:
+                    if self._is_mutable(default):
+                        yield self.finding(
+                            src, default,
+                            f"mutable default argument in `{name}`; "
+                            "use None and create inside the function",
+                        )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, _MUTABLE_LITERALS):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_BUILTINS
+        )
+
+
+# ----------------------------------------------------------------------
+# R004 — registry coverage
+# ----------------------------------------------------------------------
+class RegistryRule(LintRule):
+    """R004: named concrete policies must be in the registry."""
+
+    rule_id = "R004"
+    title = "every named policy class is registered"
+
+    def check(self, src: SourceFile,
+              project: ProjectContext) -> Iterator[Finding]:
+        if project.registry_names is None:
+            return  # no registry among the linted files; cannot check
+        if src.path.name == "registry.py":
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not project.is_policy_class(node) or is_abstract(node):
+                continue
+            policy_name = self._declared_name(node)
+            if policy_name is None or policy_name == "abstract":
+                continue
+            registered = (
+                node.name in project.registry_names
+                or policy_name in project.registry_names
+            )
+            if not registered:
+                yield self.finding(
+                    src, node,
+                    f"policy class {node.name} (name={policy_name!r}) "
+                    "is not registered in policies/registry.py",
+                )
+
+    @staticmethod
+    def _declared_name(node: ast.ClassDef) -> str | None:
+        for item in node.body:
+            if isinstance(item, ast.Assign):
+                targets = [
+                    t.id for t in item.targets if isinstance(t, ast.Name)
+                ]
+                value = item.value
+                if "name" in targets and isinstance(value, ast.Constant) \
+                        and isinstance(value.value, str):
+                    return value.value
+            elif isinstance(item, ast.AnnAssign):
+                target = item.target
+                value = item.value
+                if (isinstance(target, ast.Name) and target.id == "name"
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    return value.value
+        return None
+
+
+# ----------------------------------------------------------------------
+# R005 — no magic latency/energy numbers in the device-model layer
+# ----------------------------------------------------------------------
+class MagicNumberRule(LintRule):
+    """R005: latency/energy values must reference named constants."""
+
+    rule_id = "R005"
+    title = "device latencies/energies come from named constants"
+
+    #: Keyword-argument name fragments the rule applies to.
+    keywords = ("latency", "energy")
+    #: Only the device/cost-model layer is constrained.
+    scope_dir = "memory"
+
+    def check(self, src: SourceFile,
+              project: ProjectContext) -> Iterator[Finding]:
+        if self.scope_dir not in src.path.parts:
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                lowered = keyword.arg.lower()
+                if not any(frag in lowered for frag in self.keywords):
+                    continue
+                if self._is_magic(keyword.value):
+                    yield self.finding(
+                        src, keyword.value,
+                        f"inline magic number for `{keyword.arg}`; "
+                        "express it via a named unit constant "
+                        "(e.g. 50 * NANOSECOND)",
+                    )
+
+    @staticmethod
+    def _is_magic(node: ast.expr) -> bool:
+        """A bare non-zero numeric literal (possibly negated)."""
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool)
+            and node.value != 0
+        )
+
+
+#: The rules ``repro lint`` runs by default, in report order.
+DEFAULT_RULES: tuple[LintRule, ...] = (
+    RecordRequestRule(),
+    DeterminismRule(),
+    MutableDefaultRule(),
+    RegistryRule(),
+    MagicNumberRule(),
+)

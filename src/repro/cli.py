@@ -17,6 +17,9 @@ Commands
     Regenerate Tables II-IV.
 ``sweep``
     Run a threshold / window / DRAM-ratio sweep.
+``lint``
+    Run the project-specific static-analysis rules (R001-R005) over
+    source paths; exits nonzero on findings.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.analysis.cli import list_rules, run_lint
 from repro.experiments.claims import claims_hold, verify_claims
 from repro.experiments.figures import FIGURE_BUILDERS
 from repro.experiments.report import render_figure, render_table
@@ -116,6 +120,7 @@ def _cmd_simulate(args) -> int:
     result = simulate(
         trace, spec, policy_factory(args.policy),
         inter_request_gap=gap, warmup_fraction=max(warmup, 0.0),
+        sanitize=True if args.sanitize else None,
     )
     accounting = result.accounting
     rows = [
@@ -205,6 +210,12 @@ def _cmd_claims(args) -> int:
     return 0 if claims_hold(results) else 1
 
 
+def _cmd_lint(args) -> int:
+    if args.list_rules:
+        return list_rules()
+    return run_lint(args.paths, select=args.select)
+
+
 def _cmd_sweep(args) -> int:
     if args.kind == "threshold":
         points = threshold_sweep(args.workload)
@@ -254,6 +265,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=float, default=-1.0,
                    help="warm-up fraction (default: workload's own)")
     p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--sanitize", action="store_true",
+                   help="assert simulation invariants after every request")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -276,6 +289,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default="raytrace",
                    choices=list(WORKLOAD_NAMES))
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the project lint rules (R001-R005) over source paths",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--select", nargs="+", metavar="RULE",
+                   help="restrict to the given rule ids (e.g. R001 R003)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

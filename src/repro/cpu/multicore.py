@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.trace.record import PAGE_SIZE
+from repro.trace.rng import SeedLike, ensure_rng
 from repro.trace.trace import CPUTrace
 from repro.workloads.base import AccessPattern, ZipfPattern
 
@@ -26,7 +27,7 @@ def synthesize_cpu_trace(
     zipf_alpha: float = 1.1,
     page_size: int = PAGE_SIZE,
     line_size: int = 64,
-    seed: int = 0,
+    seed: SeedLike = 0,
     name: str = "multicore",
     shared_pattern: AccessPattern | None = None,
 ) -> CPUTrace:
@@ -49,9 +50,9 @@ def synthesize_cpu_trace(
         raise ValueError("need at least one core")
     if not 0.0 <= shared_fraction <= 1.0:
         raise ValueError("shared_fraction must be in [0, 1]")
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     pattern = shared_pattern or ZipfPattern(
-        shared_pages, alpha=zipf_alpha, permute_seed=seed
+        shared_pages, alpha=zipf_alpha, permute_seed=rng
     )
 
     core_ids = np.arange(requests, dtype=np.int16) % cores

@@ -13,7 +13,6 @@ per-figure benchmarks assert the same shapes with more context.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.experiments.figures import (
     figure_1,

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 NANOSECOND = 1e-9
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
 NANOJOULE = 1e-9
 GIB = 1 << 30
 
@@ -161,9 +163,9 @@ def sttram_spec() -> MemoryDeviceSpec:
 
 def hdd_spec() -> DiskSpec:
     """Table II secondary storage: HDD with 5 ms response time."""
-    return DiskSpec(name="HDD", access_latency=5e-3)
+    return DiskSpec(name="HDD", access_latency=5 * MILLISECOND)
 
 
 def ssd_spec() -> DiskSpec:
     """An SSD alternative (100 us) for swap-sensitivity ablations."""
-    return DiskSpec(name="SSD", access_latency=100e-6)
+    return DiskSpec(name="SSD", access_latency=100 * MICROSECOND)

@@ -280,6 +280,27 @@ class MemoryManager:
                 f"NVM pages ({nvm_resident}) != frames in use "
                 f"({self.nvm.used})"
             )
+        # Frame identity: every entry references an allocated frame in
+        # its own module and no two entries share one (a count match
+        # alone cannot see aliasing or cross-tier leaks).
+        owners: dict[tuple[PageLocation, int], int] = {}
+        for entry in self.page_table.entries():
+            claims = [(entry.location, entry.frame)]
+            if entry.has_copy:
+                assert entry.copy_frame is not None
+                claims.append((PageLocation.DRAM, entry.copy_frame))
+            for location, frame in claims:
+                if not self._allocator(location).is_allocated(frame):
+                    raise AssertionError(
+                        f"page {entry.page} references unallocated "
+                        f"{location} frame {frame}"
+                    )
+                owner = owners.setdefault((location, frame), entry.page)
+                if owner != entry.page:
+                    raise AssertionError(
+                        f"{location} frame {frame} is double-booked by "
+                        f"pages {owner} and {entry.page}"
+                    )
         self.accounting.validate()
         # Every page currently resident arrived via exactly one fault
         # fill and never left, or was re-faulted after an eviction (or

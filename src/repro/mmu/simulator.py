@@ -86,6 +86,7 @@ class HybridMemorySimulator:
         policy_factory: PolicyFactory,
         validate_every: int = 0,
         inter_request_gap: float = 0.0,
+        sanitize: bool | None = None,
     ) -> None:
         """
         Parameters
@@ -100,10 +101,23 @@ class HybridMemorySimulator:
         inter_request_gap:
             Mean compute/LLC time between consecutive main-memory
             requests (seconds); feeds the static-power proration.
+        sanitize:
+            Wrap the policy in the runtime sanitizer
+            (:class:`repro.analysis.sanitizer.SanitizedPolicy`), which
+            asserts the bookkeeping invariants after every request.
+            ``None`` defers to the ``REPRO_SANITIZE`` environment
+            variable (the test suite turns it on globally).
         """
         self.spec = spec
         self.mm = MemoryManager(spec)
         self.policy = policy_factory(self.mm)
+        if sanitize is None:
+            from repro.analysis.sanitizer import sanitize_default
+            sanitize = sanitize_default()
+        self.sanitize = bool(sanitize)
+        if self.sanitize:
+            from repro.analysis.sanitizer import SanitizedPolicy
+            self.policy = SanitizedPolicy(self.policy)
         self.validate_every = validate_every
         self.inter_request_gap = inter_request_gap
 
@@ -124,6 +138,10 @@ class HybridMemorySimulator:
             self._replay(trace[boundary:])
         else:
             self._replay(trace)
+        # End-of-run enforcement: every run must leave the policy's
+        # structures consistent with the manager's, or the scores are
+        # bookkeeping artifacts.
+        self.policy.validate()
         return self.result(workload=trace.name)
 
     def _replay(self, trace: Trace) -> None:
@@ -174,6 +192,7 @@ def simulate(
     validate_every: int = 0,
     inter_request_gap: float = 0.0,
     warmup_fraction: float = 0.0,
+    sanitize: bool | None = None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`HybridMemorySimulator`."""
     simulator = HybridMemorySimulator(
@@ -181,5 +200,6 @@ def simulate(
         policy_factory,
         validate_every=validate_every,
         inter_request_gap=inter_request_gap,
+        sanitize=sanitize,
     )
     return simulator.run(trace, warmup_fraction=warmup_fraction)

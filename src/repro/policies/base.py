@@ -32,16 +32,23 @@ class HybridMemoryPolicy(abc.ABC):
         """Handle one memory request end-to-end.
 
         Implementations must call ``self.mm.record_request(is_write)``
-        exactly once, then service the request through the manager
-        (``serve_hit`` / ``fault_fill`` plus any migrations/evictions
-        the policy decides on).
+        exactly once *on every control-flow path*, then service the
+        request through the manager (``serve_hit`` / ``fault_fill``
+        plus any migrations/evictions the policy decides on).
+
+        This contract is machine-checked: statically by lint rule R001
+        (``python -m repro lint``) and at runtime by the simulation
+        sanitizer (:mod:`repro.analysis.sanitizer`), which asserts that
+        the request counter advanced exactly once per ``access`` call.
         """
 
     def validate(self) -> None:
-        """Check policy-internal state against the manager's (tests).
+        """Check policy-internal state against the manager's.
 
         Subclasses extend this with their own structure checks; the
-        default validates the shared mechanical layer.
+        default validates the shared mechanical layer.  The simulator
+        enforces it at end-of-run, and the sanitizer re-runs it on its
+        periodic deep-check cadence.
         """
         self.mm.validate()
 

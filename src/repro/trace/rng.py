@@ -1,0 +1,44 @@
+"""One seeding convention for every stochastic code path.
+
+Lint rule R002 (:mod:`repro.analysis.rules`) statically bans ambient
+entropy — ``import random``, wall-clock reads, unseeded
+``default_rng()`` — inside ``src/repro``.  This module is the
+constructive half of that contract: stochastic functions take a
+``SeedLike`` argument and call :func:`ensure_rng`, so a caller can pass
+either a plain integer seed or a live ``Generator`` threaded through a
+whole pipeline (trace transform chains, multi-phase workload builds)
+without re-seeding at every hop.
+
+``None`` is rejected on purpose.  Accepting it would silently fall back
+to OS entropy and make a run irreproducible from its arguments — the
+exact failure mode R002 exists to catch.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: Anything :func:`ensure_rng` accepts as a reproducible seed.
+SeedLike = Union[int, np.integer, np.random.SeedSequence, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    An existing ``Generator`` is returned as-is (threading it through
+    several transforms keeps one deterministic stream); an ``int`` or
+    ``SeedSequence`` constructs a fresh ``PCG64`` generator.  ``None``
+    and anything else raise ``TypeError`` so an unseeded path fails
+    loudly instead of becoming an irreproducible run.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        "seed must be an int, numpy.random.SeedSequence or Generator, "
+        f"not {type(seed).__name__}; unseeded randomness is not "
+        "reproducible and is rejected by design"
+    )

@@ -17,7 +17,6 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.trace.record import (
-    ACCESS_SIZE,
     PAGE_SIZE,
     AccessKind,
     CPUAccess,

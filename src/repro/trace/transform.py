@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.trace.rng import SeedLike, ensure_rng
 from repro.trace.trace import Trace
 
 
@@ -56,29 +57,31 @@ def subsample(trace: Trace, step: int) -> Trace:
     )
 
 
-def flip_writes(trace: Trace, write_ratio: float, seed: int = 0) -> Trace:
+def flip_writes(trace: Trace, write_ratio: float,
+                seed: SeedLike = 0) -> Trace:
     """Re-draw the read/write flags with a new write ratio.
 
     Page sequence (and therefore locality) is preserved; only request
     directions change.  Used by ablations that study read/write-mix
-    sensitivity independent of locality.
+    sensitivity independent of locality.  ``seed`` may be a live
+    ``Generator`` so chained transforms share one stream.
     """
     if not 0.0 <= write_ratio <= 1.0:
         raise ValueError("write_ratio must be in [0, 1]")
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     writes = rng.random(len(trace)) < write_ratio
     return Trace(trace.pages, writes, name=trace.name,
                  page_size=trace.page_size)
 
 
-def remap_random(trace: Trace, seed: int = 0) -> Trace:
+def remap_random(trace: Trace, seed: SeedLike = 0) -> Trace:
     """Apply a random bijection to page numbers.
 
     Destroys any spatial meaning of page ids while preserving temporal
     locality — a sanity transform for policies, which must be invariant
     under it.
     """
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     pages = np.asarray(trace.pages)
     unique = np.unique(pages)
     shuffled = unique.copy()

@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.trace.record import PAGE_SIZE
+from repro.trace.rng import SeedLike, ensure_rng
 from repro.trace.trace import Trace
 
 
@@ -59,14 +60,14 @@ class ZipfPattern(AccessPattern):
     """
 
     def __init__(self, pages: int, alpha: float = 1.0,
-                 permute_seed: int = 0) -> None:
+                 permute_seed: SeedLike = 0) -> None:
         super().__init__(pages)
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
         self.alpha = alpha
         weights = 1.0 / np.arange(1, pages + 1, dtype=np.float64) ** alpha
         self._probabilities = weights / weights.sum()
-        permuter = np.random.default_rng(permute_seed)
+        permuter = ensure_rng(permute_seed)
         self._rank_to_page = permuter.permutation(pages).astype(np.int64)
 
     def generate(self, rng: np.random.Generator, count: int) -> np.ndarray:
@@ -492,9 +493,13 @@ class PhasedWorkload:
     def total_requests(self) -> int:
         return sum(phase.length for phase in self.phases)
 
-    def build(self, seed: int = 0) -> Trace:
-        """Render the workload deterministically from ``seed``."""
-        rng = np.random.default_rng(seed)
+    def build(self, seed: SeedLike = 0) -> Trace:
+        """Render the workload deterministically from ``seed``.
+
+        ``seed`` may also be a live ``Generator``, so several workloads
+        can be built from one threaded stream without correlation.
+        """
+        rng = ensure_rng(seed)
         page_chunks: list[np.ndarray] = []
         write_chunks: list[np.ndarray] = []
         for phase in self.phases:

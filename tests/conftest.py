@@ -5,9 +5,21 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.sanitizer import SANITIZE_ENV
 from repro.memory.devices import dram_spec, hdd_spec, pcm_spec
 from repro.memory.specs import HybridMemorySpec
 from repro.trace.trace import Trace
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_simulations(monkeypatch: pytest.MonkeyPatch) -> None:
+    """Run the whole suite with the simulation sanitizer enabled.
+
+    Every ``HybridMemorySimulator`` built without an explicit
+    ``sanitize=`` argument wraps its policy in the runtime sanitizer,
+    so each test doubles as an invariant check.
+    """
+    monkeypatch.setenv(SANITIZE_ENV, "1")
 
 
 @pytest.fixture

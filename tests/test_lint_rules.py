@@ -1,0 +1,412 @@
+"""Tests for the custom lint pass (repro.analysis rules R001-R005)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import DEFAULT_RULES, lint_paths
+from repro.analysis.rules import analyze_record_request_paths
+from repro.cli import main
+
+
+def _lint_snippet(tmp_path: Path, source: str,
+                  filename: str = "mod.py", select=None):
+    """Write ``source`` into ``tmp_path`` and lint just that tree."""
+    target = tmp_path / filename
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([tmp_path], select=select)
+
+
+def _access_counts(source: str) -> set[int]:
+    """Path analysis of the single function in ``source``."""
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(
+        node for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    )
+    return analyze_record_request_paths(func)
+
+
+# ----------------------------------------------------------------------
+# R001 — the record_request path analysis
+# ----------------------------------------------------------------------
+class TestPathAnalysis:
+    def test_straight_line_once(self):
+        assert _access_counts("""
+            def access(self, page, is_write):
+                self.mm.record_request(is_write)
+                self.mm.serve_hit(page, is_write)
+        """) == {1}
+
+    def test_never_called(self):
+        assert _access_counts("""
+            def access(self, page, is_write):
+                self.mm.serve_hit(page, is_write)
+        """) == {0}
+
+    def test_double_call(self):
+        assert _access_counts("""
+            def access(self, page, is_write):
+                self.mm.record_request(is_write)
+                self.mm.record_request(is_write)
+        """) == {2}
+
+    def test_branch_skips(self):
+        assert _access_counts("""
+            def access(self, page, is_write):
+                if is_write:
+                    self.mm.record_request(is_write)
+        """) == {0, 1}
+
+    def test_branch_both_arms_ok(self):
+        assert _access_counts("""
+            def access(self, page, is_write):
+                if is_write:
+                    self.mm.record_request(True)
+                else:
+                    self.mm.record_request(False)
+                return None
+        """) == {1}
+
+    def test_early_return_after_recording(self):
+        assert _access_counts("""
+            def access(self, page, is_write):
+                self.mm.record_request(is_write)
+                if self.mm.is_resident(page):
+                    self.mm.serve_hit(page, is_write)
+                    return
+                self.mm.fault_fill(page, DEST, is_write)
+        """) == {1}
+
+    def test_raise_paths_are_exempt(self):
+        # Error paths need not charge the request.
+        assert _access_counts("""
+            def access(self, page, is_write):
+                if page < 0:
+                    raise ValueError("bad page")
+                self.mm.record_request(is_write)
+        """) == {1}
+
+    def test_call_inside_loop_may_repeat(self):
+        counts = _access_counts("""
+            def access(self, page, is_write):
+                for _ in range(2):
+                    self.mm.record_request(is_write)
+        """)
+        assert 0 in counts and 2 in counts  # zero or many iterations
+
+    def test_call_in_try_with_returning_handler(self):
+        # The handler may run before the body's call happened.
+        counts = _access_counts("""
+            def access(self, page, is_write):
+                try:
+                    self.mm.record_request(is_write)
+                    self.mm.serve_hit(page, is_write)
+                except KeyError:
+                    return
+        """)
+        assert counts == {0, 1}
+
+    def test_nested_function_does_not_count(self):
+        assert _access_counts("""
+            def access(self, page, is_write):
+                def later():
+                    self.mm.record_request(is_write)
+                self.mm.record_request(is_write)
+        """) == {1}
+
+
+class TestR001:
+    def test_clean_policy_passes(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class GoodPolicy(HybridMemoryPolicy):
+                name = "good"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+                    if self.mm.is_resident(page):
+                        self.mm.serve_hit(page, is_write)
+        """, select=["R001"])
+        assert findings == []
+
+    def test_missing_call_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class BadPolicy(HybridMemoryPolicy):
+                name = "bad"
+
+                def access(self, page, is_write):
+                    self.mm.serve_hit(page, is_write)
+        """, select=["R001"])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "R001"
+        assert "never calls" in findings[0].message
+
+    def test_conditional_skip_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class SometimesPolicy(HybridMemoryPolicy):
+                name = "sometimes"
+
+                def access(self, page, is_write):
+                    if is_write:
+                        self.mm.record_request(is_write)
+                    self.mm.serve_hit(page, is_write)
+        """, select=["R001"])
+        assert len(findings) == 1
+        assert "skips" in findings[0].message
+
+    def test_double_call_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class EagerPolicy(HybridMemoryPolicy):
+                name = "eager"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+                    self.mm.record_request(is_write)
+        """, select=["R001"])
+        assert len(findings) == 1
+        assert "more than once" in findings[0].message
+
+    def test_abstract_class_exempt(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            import abc
+
+            class PartialPolicy(HybridMemoryPolicy):
+                @abc.abstractmethod
+                def access(self, page, is_write):
+                    ...
+        """, select=["R001"])
+        assert findings == []
+
+    def test_non_policy_class_exempt(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class Replayer:
+                def access(self, page, is_write):
+                    self.log.append(page)
+        """, select=["R001"])
+        assert findings == []
+
+    def test_transitive_subclass_checked(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class MiddlePolicy(HybridMemoryPolicy):
+                name = "middle"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+            class Leaf(MiddlePolicy):
+                name = "leaf"
+
+                def access(self, page, is_write):
+                    self.mm.serve_hit(page, is_write)
+        """, select=["R001"])
+        assert [f.message.split(".")[0] for f in findings] == ["Leaf"]
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class WaivedPolicy(HybridMemoryPolicy):
+                name = "waived"
+
+                def access(self, page, is_write):  # noqa: R001
+                    self.mm.serve_hit(page, is_write)
+        """, select=["R001"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R002 — determinism
+# ----------------------------------------------------------------------
+class TestR002:
+    @pytest.mark.parametrize("snippet, fragment", [
+        ("import random\n", "process-global"),
+        ("from random import choice\n", "process-global"),
+        ("import time\nstamp = time.time()\n", "wall-clock"),
+        ("from datetime import datetime\nnow = datetime.now()\n",
+         "wall-clock"),
+        ("import numpy as np\nnp.random.seed(1)\n", "legacy global RNG"),
+        ("import numpy as np\nx = np.random.rand(3)\n",
+         "legacy global RNG"),
+        ("import numpy as np\nrng = np.random.default_rng()\n",
+         "without a seed"),
+        ("from numpy.random import default_rng\nrng = default_rng()\n",
+         "without a seed"),
+    ])
+    def test_flagged(self, tmp_path, snippet, fragment):
+        findings = _lint_snippet(tmp_path, snippet, select=["R002"])
+        assert len(findings) == 1, findings
+        assert fragment in findings[0].message
+
+    @pytest.mark.parametrize("snippet", [
+        "import numpy as np\nrng = np.random.default_rng(7)\n",
+        "import numpy as np\nseq = np.random.SeedSequence(3)\n",
+        "import time\nelapsed = time.perf_counter()\n",
+    ])
+    def test_seeded_usage_clean(self, tmp_path, snippet):
+        assert _lint_snippet(tmp_path, snippet, select=["R002"]) == []
+
+
+# ----------------------------------------------------------------------
+# R003 — mutable defaults
+# ----------------------------------------------------------------------
+class TestR003:
+    @pytest.mark.parametrize("snippet", [
+        "def f(x=[]):\n    return x\n",
+        "def f(x={}):\n    return x\n",
+        "def f(*, x=set()):\n    return x\n",
+        "def f(x=list()):\n    return x\n",
+        "g = lambda x=[]: x\n",
+    ])
+    def test_flagged(self, tmp_path, snippet):
+        findings = _lint_snippet(tmp_path, snippet, select=["R003"])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "R003"
+
+    def test_immutable_defaults_clean(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(x=None, y=(), z=0, name="n"):
+                return x, y, z, name
+        """, select=["R003"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R004 — registry coverage
+# ----------------------------------------------------------------------
+_POLICIES_SOURCE = """
+class ListedPolicy(HybridMemoryPolicy):
+    name = "listed"
+
+    def access(self, page, is_write):
+        self.mm.record_request(is_write)
+
+
+class OrphanPolicy(HybridMemoryPolicy):
+    name = "orphan"
+
+    def access(self, page, is_write):
+        self.mm.record_request(is_write)
+"""
+
+
+class TestR004:
+    def test_unregistered_policy_flagged(self, tmp_path):
+        (tmp_path / "policies.py").write_text(
+            textwrap.dedent(_POLICIES_SOURCE), encoding="utf-8")
+        (tmp_path / "registry.py").write_text(
+            'FACTORIES = {"listed": ListedPolicy}\n', encoding="utf-8")
+        findings = lint_paths([tmp_path], select=["R004"])
+        assert len(findings) == 1
+        assert "OrphanPolicy" in findings[0].message
+        assert "'orphan'" in findings[0].message
+
+    def test_registration_by_name_string(self, tmp_path):
+        (tmp_path / "policies.py").write_text(
+            textwrap.dedent(_POLICIES_SOURCE), encoding="utf-8")
+        # Referencing the policies' *name* strings also counts.
+        (tmp_path / "registry.py").write_text(
+            'KNOWN = ["listed", "orphan"]\n', encoding="utf-8")
+        assert lint_paths([tmp_path], select=["R004"]) == []
+
+    def test_without_registry_rule_is_silent(self, tmp_path):
+        (tmp_path / "policies.py").write_text(
+            textwrap.dedent(_POLICIES_SOURCE), encoding="utf-8")
+        assert lint_paths([tmp_path], select=["R004"]) == []
+
+
+# ----------------------------------------------------------------------
+# R005 — magic numbers in the device layer
+# ----------------------------------------------------------------------
+class TestR005:
+    def test_magic_latency_in_memory_layer_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            spec = DeviceSpec(read_latency=5e-08, write_energy=W)
+        """, filename="memory/devices_x.py", select=["R005"])
+        assert len(findings) == 1
+        assert "read_latency" in findings[0].message
+
+    def test_named_constants_clean(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            spec = DeviceSpec(
+                read_latency=50 * NANOSECOND,
+                write_energy=ZERO_ENERGY,
+                access_latency=0,
+            )
+        """, filename="memory/devices_x.py", select=["R005"])
+        assert findings == []
+
+    def test_outside_memory_layer_not_constrained(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            spec = DeviceSpec(read_latency=5e-08)
+        """, filename="policies/tuning.py", select=["R005"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Driver behaviour
+# ----------------------------------------------------------------------
+class TestLintDriver:
+    def test_syntax_error_becomes_r000(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "def broken(:\n")
+        assert [f.rule_id for f in findings] == ["R000"]
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def late(x=[]):
+                return x
+
+            def early(y={}):
+                return y
+        """, select=["R003"])
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_repo_source_tree_is_clean(self):
+        src_root = Path(repro.__file__).parent
+        findings = lint_paths([src_root])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestLintCli:
+    def test_clean_path_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("VALUE = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 0
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import random\n\n\ndef f(x=[]):\n    return x\n",
+            encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "R002" in out and "R003" in out
+        assert "2 findings" in out
+
+    def test_bad_policy_file_fails_lint(self, tmp_path, capsys):
+        (tmp_path / "bad_policy.py").write_text(textwrap.dedent("""
+            class UncountedPolicy(HybridMemoryPolicy):
+                name = "uncounted"
+
+                def access(self, page, is_write):
+                    self.mm.serve_hit(page, is_write)
+        """), encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import random\n\n\ndef f(x=[]):\n    return x\n",
+            encoding="utf-8")
+        assert main(["lint", str(tmp_path), "--select", "R003"]) == 1
+        out = capsys.readouterr().out
+        assert "R003" in out and "R002" not in out
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nope.txt")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in DEFAULT_RULES:
+            assert rule.rule_id in out

@@ -1,0 +1,94 @@
+"""Tests for the seed-threading helper (repro.trace.rng)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cpu.multicore import synthesize_cpu_trace
+from repro.trace.rng import ensure_rng
+from repro.trace.transform import flip_writes, remap_random
+from repro.trace.trace import Trace
+from repro.workloads.base import (
+    BernoulliWrites,
+    Phase,
+    PhasedWorkload,
+    UniformPattern,
+    ZipfPattern,
+)
+
+
+class TestEnsureRng:
+    def test_int_seed_builds_generator(self):
+        rng = ensure_rng(7)
+        assert isinstance(rng, np.random.Generator)
+        assert rng.integers(100) == ensure_rng(7).integers(100)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        rng = ensure_rng(np.random.SeedSequence(11))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_generator_passes_through_unchanged(self):
+        rng = np.random.default_rng(5)
+        assert ensure_rng(rng) is rng
+
+    @pytest.mark.parametrize("bad", [None, "7", 1.5, [1, 2]])
+    def test_non_seeds_rejected(self, bad):
+        with pytest.raises(TypeError, match="not reproducible"):
+            ensure_rng(bad)
+
+
+class TestThreading:
+    """One Generator threaded through a pipeline stays deterministic."""
+
+    def test_transform_chain_with_shared_stream(self):
+        base = Trace(np.arange(50) % 10, np.zeros(50, dtype=bool),
+                     name="chain")
+
+        def run_chain():
+            rng = np.random.default_rng(123)
+            return flip_writes(remap_random(base, rng), 0.4, rng)
+
+        first, second = run_chain(), run_chain()
+        assert np.array_equal(first.pages, second.pages)
+        assert np.array_equal(first.is_write, second.is_write)
+
+    def test_transforms_still_accept_int_seeds(self):
+        base = Trace(np.arange(20), np.zeros(20, dtype=bool), name="ints")
+        assert np.array_equal(
+            remap_random(base, 9).pages, remap_random(base, 9).pages
+        )
+        assert np.array_equal(
+            flip_writes(base, 0.5, seed=9).is_write,
+            flip_writes(base, 0.5, seed=9).is_write,
+        )
+
+    def test_workload_build_accepts_generator(self):
+        workload = PhasedWorkload("w", [
+            Phase(UniformPattern(32), BernoulliWrites(0.3), 200),
+        ])
+        a = workload.build(np.random.default_rng(4))
+        b = workload.build(np.random.default_rng(4))
+        assert np.array_equal(a.pages, b.pages)
+        assert np.array_equal(a.is_write, b.is_write)
+
+    def test_zipf_permutation_accepts_generator(self):
+        a = ZipfPattern(64, permute_seed=np.random.default_rng(2))
+        b = ZipfPattern(64, permute_seed=np.random.default_rng(2))
+        assert np.array_equal(a.top_pages(8), b.top_pages(8))
+
+    def test_cpu_trace_generator_seed(self):
+        a = synthesize_cpu_trace(requests=500,
+                                 seed=np.random.default_rng(6))
+        b = synthesize_cpu_trace(requests=500,
+                                 seed=np.random.default_rng(6))
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.is_write, b.is_write)
+
+    def test_cpu_trace_int_seed_reproducible(self):
+        a = synthesize_cpu_trace(requests=500, seed=6)
+        b = synthesize_cpu_trace(requests=500, seed=6)
+        assert np.array_equal(a.addresses, b.addresses)
