@@ -13,7 +13,9 @@ def list_rules(stream: TextIO | None = None) -> int:
     """Print the rule catalogue (``repro lint --list-rules``)."""
     stream = stream if stream is not None else sys.stdout
     for rule in DEFAULT_RULES:
-        print(f"{rule.rule_id}  {rule.title}", file=stream)
+        aliases = getattr(rule, "aliases", ())
+        alias_note = f" (alias: {', '.join(aliases)})" if aliases else ""
+        print(f"{rule.rule_id}  {rule.title}{alias_note}", file=stream)
     return 0
 
 

@@ -1,6 +1,6 @@
 """Project-wide context shared by the lint rules.
 
-Rules such as R001 (accounting contract) and R004 (registry coverage)
+Rules such as R010 (accounting contract) and R004 (registry coverage)
 need to know which classes are placement policies and which class
 names the policy registry references.  Both are computed once over the
 whole set of linted files, so rules stay simple per-file visitors.
@@ -64,6 +64,10 @@ class ProjectContext:
     #: identifiers and string literals appearing in ``policies/registry.py``,
     #: or ``None`` when no registry file is among the linted files.
     registry_names: set[str] | None = None
+    #: per-run memoisation space for expensive analyses (keyed by the
+    #: analysis; e.g. the units checker caches its per-file results and
+    #: the project-wide dimension registry here).
+    scratch: dict = field(default_factory=dict)
 
     @classmethod
     def build(cls, files: list[SourceFile]) -> "ProjectContext":

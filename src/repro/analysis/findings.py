@@ -25,8 +25,16 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
 
 
-def suppressed(finding: Finding, source_lines: list[str]) -> bool:
-    """True when the finding's line carries a matching ``noqa`` comment."""
+def suppressed(
+    finding: Finding,
+    source_lines: list[str],
+    aliases: tuple[str, ...] = (),
+) -> bool:
+    """True when the finding's line carries a matching ``noqa`` comment.
+
+    ``aliases`` lists historical ids the finding's rule also answers to
+    (e.g. ``# noqa: R001`` keeps silencing the R010 successor).
+    """
     if not 1 <= finding.line <= len(source_lines):
         return False
     match = _NOQA.search(source_lines[finding.line - 1])
@@ -36,4 +44,5 @@ def suppressed(finding: Finding, source_lines: list[str]) -> bool:
     if ids is None:
         return True
     wanted = {part.strip().upper() for part in ids.split(",") if part.strip()}
-    return finding.rule_id.upper() in wanted
+    accepted = {finding.rule_id.upper(), *(alias.upper() for alias in aliases)}
+    return bool(accepted & wanted)

@@ -1,0 +1,50 @@
+"""Dataflow analysis framework for the project lint pass.
+
+``flow`` hosts the intraprocedural machinery behind rules R006-R010:
+
+* :mod:`repro.analysis.flow.cfg` — statement-level control-flow graphs
+  with explicit exception edges;
+* :mod:`repro.analysis.flow.engine` — the generic worklist fixpoint
+  solver (forward and backward);
+* :mod:`repro.analysis.flow.lattice` — shared lattice helpers;
+* :mod:`repro.analysis.flow.units` — units-of-measure inference
+  (R006/R007);
+* :mod:`repro.analysis.flow.typestate` — page life-cycle protocol and
+  accounting-order verification (R008/R009);
+* :mod:`repro.analysis.flow.accounting` — the record_request contract
+  on the fixpoint engine (R010, superseding R001).
+"""
+
+from repro.analysis.flow.accounting import AccountingRule, analyze_record_request_paths
+from repro.analysis.flow.cfg import CFG, Block, build_cfg, head_expressions
+from repro.analysis.flow.engine import (
+    FixpointDivergence,
+    FlowAnalysis,
+    Solution,
+    solve_backward,
+    solve_forward,
+)
+from repro.analysis.flow.lattice import TOP, flat_join, map_join
+from repro.analysis.flow.typestate import ProtocolRule, RecordedFirstRule
+from repro.analysis.flow.units import UnitsMismatchRule, UnitsSinkRule
+
+__all__ = [
+    "CFG",
+    "Block",
+    "build_cfg",
+    "head_expressions",
+    "FlowAnalysis",
+    "FixpointDivergence",
+    "Solution",
+    "solve_forward",
+    "solve_backward",
+    "TOP",
+    "flat_join",
+    "map_join",
+    "AccountingRule",
+    "analyze_record_request_paths",
+    "ProtocolRule",
+    "RecordedFirstRule",
+    "UnitsMismatchRule",
+    "UnitsSinkRule",
+]

@@ -1,0 +1,145 @@
+"""The accounting contract on the fixpoint engine (rule R010).
+
+Re-implements PR 1's R001 — every concrete policy ``access`` must call
+``mm.record_request`` exactly once on every control-flow path — as a
+forward dataflow problem instead of abstract path enumeration: the
+state is the set of call totals (saturated at :data:`MANY`) reachable
+at a program point, joined by set union.  Branch-heavy policies that
+made the old per-path analysis fan out combinatorially now cost one
+worklist pass over the CFG, because the state space is bounded by the
+eight subsets of ``{0, 1, 2}`` regardless of path count.
+
+Paths ending in ``raise`` are exempt (error paths need not account a
+request), which the CFG expresses structurally: they drain into
+``cfg.raise_exit``, and the rule only reads the state reaching
+``cfg.exit``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext, SourceFile, is_abstract
+from repro.analysis.findings import Finding
+from repro.analysis.flow.cfg import SCOPE_STMTS, build_cfg, head_expressions
+from repro.analysis.flow.engine import FlowAnalysis, solve_forward
+
+#: Saturation value: "two or more calls".
+MANY = 2
+
+#: The state space: subsets of possible per-path call totals.
+CountState = frozenset
+
+
+def _calls_in(node: ast.AST) -> int:
+    """``record_request`` call sites within one evaluated node.
+
+    Does not descend into nested function/class definitions or lambdas
+    (those bodies do not run inline).
+    """
+    count = 0
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name == "record_request":
+            count += 1
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (*SCOPE_STMTS, ast.Lambda)):
+            continue
+        count += _calls_in(child)
+    return count
+
+
+def calls_at(stmt: ast.stmt) -> int:
+    """``record_request`` calls the CFG attributes to ``stmt``'s block slot."""
+    heads = head_expressions(stmt)
+    if heads:
+        return sum(_calls_in(expr) for expr in heads)
+    if isinstance(stmt, SCOPE_STMTS):
+        return 0
+    return _calls_in(stmt)
+
+
+class RecordRequestAnalysis(FlowAnalysis[CountState]):
+    """Forward analysis over saturated call-count sets."""
+
+    def initial(self) -> CountState:
+        return frozenset({0})
+
+    def join(self, a: CountState, b: CountState) -> CountState:
+        return a | b
+
+    def transfer(self, stmt: ast.stmt, state: CountState) -> CountState:
+        extra = calls_at(stmt)
+        if not extra:
+            return state
+        return frozenset(min(count + extra, MANY) for count in state)
+
+
+def analyze_record_request_paths(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[int]:
+    """Possible ``record_request`` totals over all paths through ``func``.
+
+    Counts are saturated at 2 (= "two or more"); paths that end in
+    ``raise`` are dropped.
+    """
+    cfg = build_cfg(func)
+    solution = solve_forward(cfg, RecordRequestAnalysis())
+    at_exit = solution.block_in[cfg.exit]
+    return set(at_exit) if at_exit is not None else set()
+
+
+class AccountingRule:
+    """R010: ``access`` must charge the request exactly once per path.
+
+    Supersedes R001 (the abstract path enumerator); ``--select R001``
+    and ``# noqa: R001`` keep working through the alias.
+    """
+
+    rule_id = "R010"
+    aliases = ("R001",)
+    title = "policy access() must call mm.record_request exactly once"
+
+    def check(self, src: SourceFile, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not project.is_policy_class(node) or is_abstract(node):
+                continue
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == "access":
+                    yield from self._check_access(src, node, item)
+
+    def _check_access(
+        self, src: SourceFile, cls: ast.ClassDef, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        counts = analyze_record_request_paths(func)
+        if counts == {1}:
+            return
+        label = f"{cls.name}.access"
+        if counts == {0}:
+            message = (
+                f"{label} never calls mm.record_request; every "
+                "request must be counted exactly once"
+            )
+        elif 0 in counts and any(value >= 1 for value in counts):
+            message = (
+                f"{label} skips mm.record_request on some "
+                "control-flow paths; it must run exactly once "
+                "on every path"
+            )
+        else:
+            message = (
+                f"{label} may call mm.record_request more than "
+                "once on a path; requests must be counted "
+                "exactly once"
+            )
+        yield Finding(
+            path=str(src.path),
+            line=func.lineno,
+            col=func.col_offset + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )

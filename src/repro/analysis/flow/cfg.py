@@ -1,0 +1,254 @@
+"""Intraprocedural control-flow graphs over ``ast`` statements.
+
+:func:`build_cfg` turns one ``ast.FunctionDef`` body into a graph of
+:class:`Block` nodes.  A block holds a straight-line sequence of
+statements; compound statements (``if``/``while``/``for``/``match``)
+appear in the block that evaluates their *head* expression only — their
+bodies live in successor blocks — so a dataflow transfer function must
+never descend into a statement's child statements.  Use
+:func:`head_expressions` to get exactly the expressions a statement
+evaluates at its position in the graph.
+
+Three distinguished blocks frame every graph:
+
+``cfg.entry``
+    Where execution starts (it may already carry statements).
+``cfg.exit``
+    The normal-termination block: every ``return`` and the final
+    fall-through edge lead here.  Always empty.
+``cfg.raise_exit``
+    Where uncaught ``raise`` paths end.  Analyses that exempt error
+    paths (like the accounting rule) simply never read this block.
+
+Exception modelling: inside a ``try`` body every statement boundary
+gets an edge to each handler of the innermost ``try``, so a handler
+observes the state *before* any statement that may throw.  ``raise``
+statements additionally edge to the handlers and to ``raise_exit``
+(the raised type may not match any handler clause).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Block:
+    """A straight-line run of statements with explicit successor edges."""
+
+    index: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+
+def head_expressions(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions ``stmt`` evaluates at its block position.
+
+    For a compound statement only the head is evaluated where the
+    statement sits in the CFG (its body belongs to successor blocks);
+    for a simple statement the whole statement is.  Callers composing
+    transfer functions should treat a non-empty result as "visit these
+    expressions instead of the statement node".
+    """
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.While, ast.If)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return []
+
+
+#: Statements whose bodies define a new scope: inert in the enclosing CFG.
+SCOPE_STMTS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class CFG:
+    """A control-flow graph for one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry = self._new_block().index
+        self.exit = self._new_block().index
+        self.raise_exit = self._new_block().index
+
+    def _new_block(self) -> Block:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def reverse_postorder(self) -> list[Block]:
+        """Reachable blocks, loop heads before loop bodies (iterative DFS)."""
+        seen: set[int] = set()
+        order: list[int] = []
+        stack: list[tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            index, child = stack[-1]
+            succs = self.blocks[index].succs
+            if child < len(succs):
+                stack[-1] = (index, child + 1)
+                succ = succs[child]
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, 0))
+            else:
+                stack.pop()
+                order.append(index)
+        return [self.blocks[index] for index in reversed(order)]
+
+
+class _Builder:
+    """Single-use CFG construction state (loop and handler stacks)."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: (loop-head block, after-loop block) per enclosing loop.
+        self.loops: list[tuple[int, int]] = []
+        #: handler-entry blocks of each enclosing ``try`` with handlers.
+        self.handlers: list[list[int]] = []
+
+    # ------------------------------------------------------------------
+    def build(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        end = self._stmts(func.body, self.cfg.entry)
+        self.cfg.add_edge(end, self.cfg.exit)
+        return self.cfg
+
+    def _stmts(self, stmts: list[ast.stmt], cur: int) -> int:
+        for stmt in stmts:
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _innermost_handlers(self) -> list[int]:
+        return self.handlers[-1] if self.handlers else []
+
+    def _stmt(self, stmt: ast.stmt, cur: int) -> int:
+        targets = self._innermost_handlers()
+        if targets and not isinstance(stmt, SCOPE_STMTS):
+            # The statement may throw: expose the state at this boundary
+            # to the handlers, and seal the boundary into its own block.
+            nxt = self.cfg._new_block().index
+            self.cfg.add_edge(cur, nxt)
+            for handler in targets:
+                self.cfg.add_edge(cur, handler)
+            cur = nxt
+
+        if isinstance(stmt, ast.Return):
+            self.cfg.blocks[cur].stmts.append(stmt)
+            self.cfg.add_edge(cur, self.cfg.exit)
+            return self.cfg._new_block().index
+        if isinstance(stmt, ast.Raise):
+            self.cfg.blocks[cur].stmts.append(stmt)
+            for handler in self._innermost_handlers():
+                self.cfg.add_edge(cur, handler)
+            self.cfg.add_edge(cur, self.cfg.raise_exit)
+            return self.cfg._new_block().index
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.cfg.add_edge(cur, self.loops[-1][1])
+                return self.cfg._new_block().index
+            return cur
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.cfg.add_edge(cur, self.loops[-1][0])
+                return self.cfg._new_block().index
+            return cur
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.cfg.blocks[cur].stmts.append(stmt)
+            return self._stmts(stmt.body, cur)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, cur)
+        # Simple statements — including nested def/class, which are
+        # inert at this level (their bodies do not run inline).
+        self.cfg.blocks[cur].stmts.append(stmt)
+        return cur
+
+    # ------------------------------------------------------------------
+    def _if(self, stmt: ast.If, cur: int) -> int:
+        self.cfg.blocks[cur].stmts.append(stmt)
+        after = self.cfg._new_block().index
+        then_entry = self.cfg._new_block().index
+        self.cfg.add_edge(cur, then_entry)
+        then_end = self._stmts(stmt.body, then_entry)
+        self.cfg.add_edge(then_end, after)
+        if stmt.orelse:
+            else_entry = self.cfg._new_block().index
+            self.cfg.add_edge(cur, else_entry)
+            else_end = self._stmts(stmt.orelse, else_entry)
+            self.cfg.add_edge(else_end, after)
+        else:
+            self.cfg.add_edge(cur, after)
+        return after
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor, cur: int) -> int:
+        head = self.cfg._new_block().index
+        self.cfg.add_edge(cur, head)
+        self.cfg.blocks[head].stmts.append(stmt)
+        after = self.cfg._new_block().index
+        body_entry = self.cfg._new_block().index
+        self.cfg.add_edge(head, body_entry)
+        self.loops.append((head, after))
+        body_end = self._stmts(stmt.body, body_entry)
+        self.loops.pop()
+        self.cfg.add_edge(body_end, head)
+        if stmt.orelse:
+            else_entry = self.cfg._new_block().index
+            self.cfg.add_edge(head, else_entry)
+            else_end = self._stmts(stmt.orelse, else_entry)
+            self.cfg.add_edge(else_end, after)
+        else:
+            self.cfg.add_edge(head, after)
+        return after
+
+    def _try(self, stmt: ast.Try, cur: int) -> int:
+        handler_entries = [self.cfg._new_block().index for _ in stmt.handlers]
+        if handler_entries:
+            self.handlers.append(handler_entries)
+        body_end = self._stmts(stmt.body, cur)
+        if handler_entries:
+            self.handlers.pop()
+        if stmt.orelse:
+            body_end = self._stmts(stmt.orelse, body_end)
+        handler_ends = [
+            self._stmts(handler.body, entry)
+            for handler, entry in zip(stmt.handlers, handler_entries)
+        ]
+        after = self.cfg._new_block().index
+        self.cfg.add_edge(body_end, after)
+        for handler_end in handler_ends:
+            self.cfg.add_edge(handler_end, after)
+        if stmt.finalbody:
+            return self._stmts(stmt.finalbody, after)
+        return after
+
+    def _match(self, stmt: ast.Match, cur: int) -> int:
+        self.cfg.blocks[cur].stmts.append(stmt)
+        after = self.cfg._new_block().index
+        for case in stmt.cases:
+            case_entry = self.cfg._new_block().index
+            self.cfg.add_edge(cur, case_entry)
+            case_end = self._stmts(case.body, case_entry)
+            self.cfg.add_edge(case_end, after)
+        # Conservatively assume no case may match (guards can all fail).
+        self.cfg.add_edge(cur, after)
+        return after
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder().build(func)

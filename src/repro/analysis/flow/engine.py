@@ -1,0 +1,149 @@
+"""Generic worklist fixpoint solver over a CFG.
+
+A :class:`FlowAnalysis` supplies the lattice (``join``) and semantics
+(``transfer``); :func:`solve_forward` / :func:`solve_backward` iterate
+block transfer functions to a fixpoint and return a :class:`Solution`
+holding the converged per-block states.
+
+Requirements for termination (the classic dataflow conditions):
+
+* ``join`` is a join-semilattice operation over a finite-height domain;
+* ``transfer`` is monotone in the state argument.
+
+The engine represents unreachable blocks with ``None`` (bottom): their
+states are never joined and their statements never visited, so
+analyses need not model bottom themselves.  A safety valve raises
+:class:`FixpointDivergence` if the iteration fails to settle — which a
+correct analysis never triggers, but keeps a buggy lattice from
+hanging the lint pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Generic, Iterator, TypeVar
+
+from repro.analysis.flow.cfg import CFG, Block
+
+S = TypeVar("S")
+
+#: Each block may be re-processed at most this many times.
+MAX_VISITS_PER_BLOCK = 1000
+
+
+class FixpointDivergence(RuntimeError):
+    """The worklist iteration exceeded its visit budget."""
+
+
+class FlowAnalysis(Generic[S]):
+    """One dataflow problem: boundary state, lattice join, transfer."""
+
+    def initial(self) -> S:
+        """State at the boundary (entry for forward, exit for backward)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def transfer(self, stmt: ast.stmt, state: S) -> S:
+        """State after ``stmt`` given the state before it (or the reverse
+        for a backward analysis).  Must not mutate ``state``."""
+        raise NotImplementedError
+
+
+@dataclass
+class Solution(Generic[S]):
+    """Converged per-block states.  ``None`` marks an unreachable block."""
+
+    cfg: CFG
+    analysis: FlowAnalysis[S]
+    block_in: dict[int, S | None]
+    block_out: dict[int, S | None]
+    forward: bool
+
+    def states_through(self, block: Block) -> Iterator[tuple[ast.stmt, S]]:
+        """``(stmt, state-before-stmt)`` pairs along a reachable block.
+
+        For a backward solution the "before" state is the one flowing
+        into the statement against execution order.  Yields nothing for
+        unreachable blocks.
+        """
+        state = self.block_in[block.index]
+        if state is None:
+            return
+        stmts = block.stmts if self.forward else list(reversed(block.stmts))
+        for stmt in stmts:
+            yield stmt, state
+            state = self.analysis.transfer(stmt, state)
+
+
+def _solve(
+    cfg: CFG,
+    analysis: FlowAnalysis[S],
+    boundary: int,
+    edges_out: dict[int, list[int]],
+    order: list[Block],
+    forward: bool,
+) -> Solution[S]:
+    block_in: dict[int, S | None] = {b.index: None for b in cfg.blocks}
+    block_out: dict[int, S | None] = {b.index: None for b in cfg.blocks}
+    block_in[boundary] = analysis.initial()
+    position = {block.index: i for i, block in enumerate(order)}
+    pending = {boundary}
+    visits = {b.index: 0 for b in cfg.blocks}
+    while pending:
+        index = min(pending, key=lambda i: position.get(i, len(position)))
+        pending.discard(index)
+        state = block_in[index]
+        if state is None:
+            continue
+        visits[index] += 1
+        if visits[index] > MAX_VISITS_PER_BLOCK:
+            raise FixpointDivergence(
+                f"block {index} visited more than {MAX_VISITS_PER_BLOCK} times"
+            )
+        stmts = cfg.blocks[index].stmts
+        for stmt in stmts if forward else reversed(stmts):
+            state = analysis.transfer(stmt, state)
+        if state == block_out[index]:
+            continue
+        block_out[index] = state
+        for succ in edges_out[index]:
+            old = block_in[succ]
+            new = state if old is None else analysis.join(old, state)
+            if new != old:
+                block_in[succ] = new
+                pending.add(succ)
+    return Solution(
+        cfg=cfg,
+        analysis=analysis,
+        block_in=block_in,
+        block_out=block_out,
+        forward=forward,
+    )
+
+
+def solve_forward(cfg: CFG, analysis: FlowAnalysis[S]) -> Solution[S]:
+    """Propagate states from ``cfg.entry`` along execution order."""
+    return _solve(
+        cfg,
+        analysis,
+        boundary=cfg.entry,
+        edges_out={b.index: b.succs for b in cfg.blocks},
+        order=cfg.reverse_postorder(),
+        forward=True,
+    )
+
+
+def solve_backward(cfg: CFG, analysis: FlowAnalysis[S]) -> Solution[S]:
+    """Propagate states from ``cfg.exit`` against execution order."""
+    order = list(reversed(cfg.reverse_postorder()))
+    return _solve(
+        cfg,
+        analysis,
+        boundary=cfg.exit,
+        edges_out={b.index: b.preds for b in cfg.blocks},
+        order=order,
+        forward=False,
+    )

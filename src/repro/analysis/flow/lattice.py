@@ -1,0 +1,68 @@
+"""Small lattice toolkit shared by the dataflow analyses.
+
+All analyses in this package run over finite-height join-semilattices,
+which (together with monotone transfer functions) is what guarantees
+the worklist iteration in :mod:`repro.analysis.flow.engine` terminates.
+Two conventions keep the state types plain Python values:
+
+* The engine represents the bottom element (unreachable program point)
+  as ``None`` itself, so analyses never model ``bottom`` explicitly.
+* Environment-shaped states are plain ``dict``s where a *missing key
+  means top* ("no information").  Joining two environments therefore
+  intersects them, keeping only keys whose values agree (or whose
+  value-lattice join is below top).  The key set can only shrink along
+  a fixpoint iteration, which bounds the lattice height by the number
+  of distinct keys times the height of the value lattice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, TypeVar
+
+V = TypeVar("V")
+
+
+class _Top:
+    """Unique 'no information' element for flat value lattices."""
+
+    _instance: "_Top | None" = None
+
+    def __new__(cls) -> "_Top":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+
+#: The shared top element used by :func:`flat_join`.
+TOP = _Top()
+
+
+def flat_join(a: V | _Top, b: V | _Top) -> V | _Top:
+    """Join in the flat lattice: equal values stay, anything else is TOP."""
+    if a is TOP or b is TOP:
+        return TOP
+    return a if a == b else TOP
+
+
+def map_join(
+    a: dict[Hashable, V],
+    b: dict[Hashable, V],
+    value_join: Callable[[V, V], "V | _Top"] = flat_join,
+) -> dict[Hashable, V]:
+    """Pointwise join of missing-key-is-top environments.
+
+    Keys present in only one map join with top and are dropped; keys
+    whose values join to :data:`TOP` are dropped as well.
+    """
+    if a is b:
+        return dict(a)
+    out: dict[Hashable, V] = {}
+    for key, value in a.items():
+        if key in b:
+            joined = value_join(value, b[key])
+            if joined is not TOP:
+                out[key] = joined  # type: ignore[assignment]
+    return out

@@ -1,0 +1,394 @@
+"""Typestate verification of the page life-cycle protocol (R008/R009).
+
+The :class:`~repro.mmu.manager.MemoryManager` API implies a protocol
+automaton per page: a page a policy just evicted to disk is *absent*
+and must not be served, migrated, swapped, copied or evicted again; a
+page just filled or migrated is *resident* and must not be
+fault-filled again without an eviction in between.  The manager checks
+some of this dynamically (and the simulation sanitizer more), but only
+on the traces a test happens to drive; the typestate rules prove it
+over *all* control-flow paths of the policy source.
+
+``R008``
+    Tracks an abstract state per page-expression (``page``,
+    ``victim.page``, ...) through every method of a concrete policy
+    class with the fixpoint engine.  States are ``RESIDENT`` and
+    ``ABSENT``; an untracked expression is "maybe" and never reported,
+    so only *definite* protocol violations (an eviction followed by a
+    use of the same expression on some path) are flagged.  Assigning to
+    a tracked name, or passing it to any non-manager call, resets it to
+    "maybe" — the analysis is name-based and deliberately gives up
+    rather than guess across aliasing or helper calls.
+
+``R009``
+    Orders accounting before memory traffic inside ``access``: the
+    paper's Table I probabilities divide per-path counters by total
+    requests, so a request must be counted (``mm.record_request``)
+    before the first protocol operation it triggers.  A call to any
+    policy helper degrades the state to "maybe" (the helper may do the
+    counting), keeping the rule definite-violation-only.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.analysis.context import ProjectContext, SourceFile, is_abstract
+from repro.analysis.findings import Finding
+from repro.analysis.flow.cfg import CFG, SCOPE_STMTS, build_cfg, head_expressions
+from repro.analysis.flow.engine import (
+    FixpointDivergence,
+    FlowAnalysis,
+    Solution,
+    solve_forward,
+)
+from repro.analysis.flow.lattice import map_join
+
+#: Page states of the protocol automaton.  An expression missing from
+#: the environment is "maybe" (unknown), which never triggers a report.
+RESIDENT = "resident"
+ABSENT = "absent"
+
+
+@dataclass(frozen=True)
+class ProtocolOp:
+    """Life-cycle contract of one MemoryManager operation."""
+
+    #: positional indices of the page arguments the op acts on.
+    page_args: tuple[int, ...]
+    #: page state in which calling the op is a protocol violation.
+    forbidden: str
+    #: message template (``{key}`` is the page expression).
+    message: str
+    #: page state after the op, or ``None`` to leave it unchanged.
+    result: str | None
+
+
+PROTOCOL: dict[str, ProtocolOp] = {
+    "serve_hit": ProtocolOp(
+        page_args=(0,),
+        forbidden=ABSENT,
+        message="serves a hit on `{key}` after it was evicted to disk",
+        result=RESIDENT,
+    ),
+    "fault_fill": ProtocolOp(
+        page_args=(0,),
+        forbidden=RESIDENT,
+        message=(
+            "fault-fills `{key}` while it is already resident; "
+            "evict it before reusing the frame"
+        ),
+        result=RESIDENT,
+    ),
+    "migrate": ProtocolOp(
+        page_args=(0,),
+        forbidden=ABSENT,
+        message=(
+            "migrates `{key}` after it was evicted to disk; "
+            "only resident pages can migrate"
+        ),
+        result=RESIDENT,
+    ),
+    "swap": ProtocolOp(
+        page_args=(0, 1),
+        forbidden=ABSENT,
+        message=(
+            "swaps `{key}` after it was evicted to disk; "
+            "only resident pages can swap"
+        ),
+        result=RESIDENT,
+    ),
+    "evict_to_disk": ProtocolOp(
+        page_args=(0,),
+        forbidden=ABSENT,
+        message=(
+            "evicts `{key}` twice; a page already on disk cannot be "
+            "evicted again (double eviction)"
+        ),
+        result=ABSENT,
+    ),
+    "create_copy": ProtocolOp(
+        page_args=(0,),
+        forbidden=ABSENT,
+        message="creates a DRAM copy of `{key}` after it was evicted to disk",
+        result=None,
+    ),
+    "drop_copy": ProtocolOp(
+        page_args=(0,),
+        forbidden=ABSENT,
+        message="drops the DRAM copy of `{key}` after it was evicted to disk",
+        result=None,
+    ),
+}
+
+
+def expr_key(expr: ast.expr) -> str | None:
+    """Stable key for a trackable page expression.
+
+    Only bare names and dotted attribute chains (``victim.page``) are
+    trackable; anything computed is not.
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = expr_key(expr.value)
+        if base is not None:
+            return f"{base}.{expr.attr}"
+    return None
+
+
+def _root(key: str) -> str:
+    return key.split(".", 1)[0]
+
+
+def is_manager_call(call: ast.Call) -> str | None:
+    """The MemoryManager method name when ``call`` targets ``mm``/``self.mm``."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = func.value
+    is_mm = (isinstance(receiver, ast.Name) and receiver.id == "mm") or (
+        isinstance(receiver, ast.Attribute) and receiver.attr == "mm"
+    )
+    return func.attr if is_mm else None
+
+
+def _calls_in_order(node: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes under ``node`` in source (pre-)order, skipping scopes."""
+    if isinstance(node, ast.Call):
+        yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (*SCOPE_STMTS, ast.Lambda)):
+            continue
+        yield from _calls_in_order(child)
+
+
+def _evaluated_nodes(stmt: ast.stmt) -> list[ast.AST]:
+    heads = head_expressions(stmt)
+    if heads:
+        return list(heads)
+    if isinstance(stmt, SCOPE_STMTS):
+        return []
+    return [stmt]
+
+
+def _assigned_roots(stmt: ast.stmt) -> set[str]:
+    """Root names (re)bound by ``stmt`` at its CFG position."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        targets = [
+            item.optional_vars for item in stmt.items if item.optional_vars is not None
+        ]
+    roots: set[str] = set()
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                roots.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                key = expr_key(node)
+                if key is not None:
+                    roots.add(_root(key))
+    return roots
+
+
+#: Callback reporting a violation: (call node, message).
+Report = Callable[[ast.Call, str], None]
+
+
+class PageProtocolAnalysis(FlowAnalysis[dict]):
+    """Forward per-page-expression state machine (rule R008)."""
+
+    def initial(self) -> dict:
+        return {}
+
+    def join(self, a: dict, b: dict) -> dict:
+        return map_join(a, b)
+
+    def transfer(self, stmt: ast.stmt, state: dict) -> dict:
+        return self.apply(stmt, state, None)
+
+    def apply(self, stmt: ast.stmt, state: dict, report: Report | None) -> dict:
+        state = dict(state)
+        for node in _evaluated_nodes(stmt):
+            for call in _calls_in_order(node):
+                op = PROTOCOL.get(is_manager_call(call) or "")
+                if op is not None:
+                    self._apply_op(call, op, state, report)
+                else:
+                    # Any other call may touch the pages it receives
+                    # (helpers run manager ops of their own): forget them.
+                    for arg in call.args:
+                        key = expr_key(arg)
+                        if key is not None:
+                            state.pop(key, None)
+        rebound = _assigned_roots(stmt)
+        if rebound:
+            for key in [key for key in state if _root(key) in rebound]:
+                del state[key]
+        return state
+
+    @staticmethod
+    def _apply_op(
+        call: ast.Call, op: ProtocolOp, state: dict, report: Report | None
+    ) -> None:
+        for index in op.page_args:
+            if index >= len(call.args):
+                continue
+            key = expr_key(call.args[index])
+            if key is None:
+                continue
+            if report is not None and state.get(key) == op.forbidden:
+                report(call, op.message.format(key=key))
+            if op.result is not None:
+                state[key] = op.result
+
+
+#: R009 accounting-order states (module-level so tests can import them).
+NOT_RECORDED = "not_recorded"
+RECORDED = "recorded"
+MAYBE = "maybe"
+
+_ORDER_MESSAGE = (
+    "calls mm.{op} before mm.record_request; the request must be "
+    "counted before it generates memory traffic"
+)
+
+
+class RecordedFirstAnalysis(FlowAnalysis[str]):
+    """Forward has-the-request-been-counted analysis (rule R009)."""
+
+    def initial(self) -> str:
+        return NOT_RECORDED
+
+    def join(self, a: str, b: str) -> str:
+        return a if a == b else MAYBE
+
+    def transfer(self, stmt: ast.stmt, state: str) -> str:
+        return self.apply(stmt, state, None)
+
+    def apply(self, stmt: ast.stmt, state: str, report: Report | None) -> str:
+        for node in _evaluated_nodes(stmt):
+            for call in _calls_in_order(node):
+                name = is_manager_call(call)
+                if name == "record_request":
+                    state = RECORDED
+                elif name in PROTOCOL:
+                    if report is not None and state == NOT_RECORDED:
+                        report(call, _ORDER_MESSAGE.format(op=name))
+                elif name is None and state == NOT_RECORDED and _is_self_call(call):
+                    # A policy helper may do the counting itself.
+                    state = MAYBE
+        return state
+
+
+def _is_self_call(call: ast.Call) -> bool:
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    )
+
+
+def _replay(
+    cfg: CFG,
+    solution: "Solution[dict] | Solution[str]",
+    analysis: "PageProtocolAnalysis | RecordedFirstAnalysis",
+    report: Report,
+) -> None:
+    """Re-run transfers over converged block-entry states, reporting."""
+    for block in cfg.reverse_postorder():
+        state = solution.block_in[block.index]
+        if state is None:
+            continue
+        for stmt in block.stmts:
+            state = analysis.apply(stmt, state, report)
+
+
+class _TypestateRuleBase:
+    """Shared driver over concrete policy classes."""
+
+    rule_id = "R000"
+    title = ""
+    aliases: tuple[str, ...] = ()
+
+    def check(self, src: SourceFile, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not project.is_policy_class(node) or is_abstract(node):
+                continue
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and self._selects(item):
+                    yield from self._check_method(src, node, item)
+
+    def _selects(self, func: ast.FunctionDef) -> bool:
+        raise NotImplementedError
+
+    def _make_analysis(self) -> "PageProtocolAnalysis | RecordedFirstAnalysis":
+        raise NotImplementedError
+
+    def _check_method(
+        self, src: SourceFile, cls: ast.ClassDef, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        analysis = self._make_analysis()
+        cfg = build_cfg(func)
+        try:
+            solution = solve_forward(cfg, analysis)
+        except FixpointDivergence:  # pragma: no cover - defensive
+            return
+        findings: list[Finding] = []
+        seen: set[tuple[int, int]] = set()
+        label = f"{cls.name}.{func.name}"
+
+        def report(call: ast.Call, message: str) -> None:
+            key = (call.lineno, call.col_offset)
+            if key in seen:
+                return
+            seen.add(key)
+            findings.append(
+                Finding(
+                    path=str(src.path),
+                    line=call.lineno,
+                    col=call.col_offset + 1,
+                    rule_id=self.rule_id,
+                    message=f"{label} {message}",
+                )
+            )
+
+        _replay(cfg, solution, analysis, report)
+        yield from findings
+
+
+class ProtocolRule(_TypestateRuleBase):
+    """R008: policies must respect the page life-cycle protocol."""
+
+    rule_id = "R008"
+    title = "policy methods follow the page life-cycle protocol"
+
+    def _selects(self, func: ast.FunctionDef) -> bool:
+        return True
+
+    def _make_analysis(self) -> PageProtocolAnalysis:
+        return PageProtocolAnalysis()
+
+
+class RecordedFirstRule(_TypestateRuleBase):
+    """R009: access() must count the request before memory traffic."""
+
+    rule_id = "R009"
+    title = "access() counts the request before touching memory"
+
+    def _selects(self, func: ast.FunctionDef) -> bool:
+        return func.name == "access"
+
+    def _make_analysis(self) -> RecordedFirstAnalysis:
+        return RecordedFirstAnalysis()

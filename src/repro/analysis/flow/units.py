@@ -1,0 +1,634 @@
+"""Units-of-measure inference on the dataflow engine (rules R006/R007).
+
+The analysis assigns every expression an abstract *dimension* — an
+integer exponent vector over the base dimensions time (s), energy (J)
+and bytes — and propagates dimensions flow-sensitively through local
+assignments with the fixpoint engine.  Dimensions are seeded from
+three places:
+
+* the named unit constants of :mod:`repro.memory.devices`
+  (``NANOSECOND`` is time, ``NANOJOULE`` energy, ``GIB`` bytes, ...);
+* annotations using the aliases of :mod:`repro.units` (``Seconds``,
+  ``Joules``, ``Watts``, ``Bytes``, ``Count``, ``Ratio``) on dataclass
+  fields, function returns and parameters, collected across every
+  linted file into a name-keyed registry;
+* plain numeric literals, which are *polymorphic scalars*: they adopt
+  whatever dimension arithmetic needs (``50 * NANOSECOND`` is time).
+
+Everything else is *unknown*, and unknown never produces a finding —
+the checker reports only definite violations:
+
+``R006``
+    Adding, subtracting or comparing two expressions of different
+    known dimensions (seconds + joules), or passing a known dimension
+    into a unit-annotated sink (keyword argument, annotated assignment,
+    attribute field, function return) expecting a different one.
+``R007``
+    An assignment/return/argument whose value has a known dimension
+    outside the model's vocabulary — not expressible as a quotient of
+    two named dimensions (dimensionless, time, energy, bytes, power).
+    This is how a double unit conversion surfaces: seconds * NANOSECOND
+    is time^2, which no sink in the model accepts.
+
+Like any name-based intraprocedural analysis this is unsound in both
+directions by design: aliasing, attribute mutation and unannotated
+helpers all fall to "unknown" rather than guessing.  The value is the
+direction it *is* precise in — the straight-line arithmetic of
+``metrics.py``/``power.py`` where Eq. 1-3 actually live.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator, Union
+
+from repro.analysis.context import ProjectContext, SourceFile
+from repro.analysis.findings import Finding
+from repro.analysis.flow.cfg import SCOPE_STMTS, build_cfg, head_expressions
+from repro.analysis.flow.engine import FixpointDivergence, FlowAnalysis, solve_forward
+
+#: Exponents outside this magnitude collapse to unknown, which bounds
+#: the lattice height (a loop multiplying by a unit would otherwise
+#: climb time, time^2, time^3, ... forever).
+MAX_EXPONENT = 3
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A dimension as integer exponents over (time, energy, byte)."""
+
+    time: int = 0
+    energy: int = 0
+    byte: int = 0
+
+    def mul(self, other: "Dim") -> "Dim | None":
+        return _bounded(
+            self.time + other.time,
+            self.energy + other.energy,
+            self.byte + other.byte,
+        )
+
+    def div(self, other: "Dim") -> "Dim | None":
+        return _bounded(
+            self.time - other.time,
+            self.energy - other.energy,
+            self.byte - other.byte,
+        )
+
+    def pow(self, exponent: int) -> "Dim | None":
+        return _bounded(
+            self.time * exponent, self.energy * exponent, self.byte * exponent
+        )
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return self == DIMENSIONLESS
+
+    def __str__(self) -> str:
+        if self.is_dimensionless:
+            return "dimensionless"
+        parts = []
+        for symbol, exponent in (("s", self.time), ("J", self.energy), ("B", self.byte)):
+            if exponent == 1:
+                parts.append(symbol)
+            elif exponent:
+                parts.append(f"{symbol}^{exponent}")
+        return "*".join(parts)
+
+
+def _bounded(time: int, energy: int, byte: int) -> Dim | None:
+    if max(abs(time), abs(energy), abs(byte)) > MAX_EXPONENT:
+        return None
+    return Dim(time=time, energy=energy, byte=byte)
+
+
+DIMENSIONLESS = Dim()
+TIME = Dim(time=1)
+ENERGY = Dim(energy=1)
+BYTE = Dim(byte=1)
+POWER = Dim(energy=1, time=-1)
+
+
+class _Scalar:
+    """A bare numeric literal: compatible with every dimension."""
+
+    def __repr__(self) -> str:
+        return "SCALAR"
+
+
+SCALAR = _Scalar()
+
+#: The abstract value of an expression: a known dimension, a polymorphic
+#: numeric literal, or ``None`` for "unknown".
+Value = Union[Dim, _Scalar, None]
+
+#: Named dimensions of the model vocabulary; every quotient of two of
+#: them is an acceptable dimension for a value to have (R007).
+NAMED_DIMS = (DIMENSIONLESS, TIME, ENERGY, BYTE, POWER)
+ACCEPTED_DIMS = frozenset(
+    dim
+    for numerator in NAMED_DIMS
+    for denominator in NAMED_DIMS
+    if (dim := numerator.div(denominator)) is not None
+)
+
+#: Unit-constant names -> dimension, wherever they are defined.
+CONSTANT_DIMS: dict[str, Dim] = {
+    "SECOND": TIME,
+    "MILLISECOND": TIME,
+    "MICROSECOND": TIME,
+    "NANOSECOND": TIME,
+    "JOULE": ENERGY,
+    "NANOJOULE": ENERGY,
+    "PICOJOULE": ENERGY,
+    "GIB": BYTE,
+    "MIB": BYTE,
+    "KIB": BYTE,
+    "PAGE_SIZE": BYTE,
+    "ACCESS_SIZE": BYTE,
+}
+
+#: Annotation aliases (repro.units) -> dimension.
+ALIAS_DIMS: dict[str, Dim] = {
+    "Seconds": TIME,
+    "Joules": ENERGY,
+    "Watts": POWER,
+    "Bytes": BYTE,
+    "Count": DIMENSIONLESS,
+    "Ratio": DIMENSIONLESS,
+}
+
+#: Builtins/functions through which a dimension passes unchanged.
+_DIM_PRESERVING = {"min", "max", "sum", "abs", "round", "ceil", "floor", "float"}
+
+#: Builtins whose result is a plain count.
+_DIMENSIONLESS_CALLS = {"len"}
+
+
+def annotation_dim(annotation: ast.expr | None) -> Dim | None:
+    """The dimension named by a ``repro.units`` alias annotation."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name):
+        return ALIAS_DIMS.get(annotation.id)
+    if isinstance(annotation, ast.Attribute):
+        return ALIAS_DIMS.get(annotation.attr)
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return ALIAS_DIMS.get(annotation.value)
+    return None
+
+
+def collect_registry(files: list[SourceFile]) -> dict[str, Dim]:
+    """Name -> dimension over all alias-annotated fields/returns.
+
+    The registry is keyed by bare attribute/function name (the analysis
+    has no type inference), so a name annotated with *different* aliases
+    in different classes is dropped as ambiguous.
+    """
+    registry: dict[str, Dim] = {}
+    ambiguous: set[str] = set()
+
+    def learn(name: str, dim: Dim | None) -> None:
+        if dim is None or name in ambiguous:
+            return
+        if name in registry and registry[name] != dim:
+            del registry[name]
+            ambiguous.add(name)
+            return
+        registry[name] = dim
+
+    for src in files:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                learn(node.target.id, annotation_dim(node.annotation))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                learn(node.name, annotation_dim(node.returns))
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+#: Callback reporting a violation: (rule id, node, message).
+Report = Callable[[str, ast.AST, str], None]
+
+#: The dataflow state: local name -> abstract value.  A name *present*
+#: with value ``None`` is a known local of unknown dimension (so it
+#: shadows any registry entry of the same name); an *absent* name falls
+#: back to the constant/registry tables.
+Env = dict
+
+
+class Evaluator:
+    """Computes abstract values; optionally reports violations."""
+
+    def __init__(self, registry: dict[str, Dim], report: Report | None = None) -> None:
+        self.registry = registry
+        self.report = report
+
+    # ------------------------------------------------------------------
+    def value_of(self, expr: ast.expr, env: Env) -> Value:
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is not None:
+            return method(expr, env)
+        # Unknown construct: still visit child expressions so nested
+        # arithmetic is checked, then give up on the result.
+        self._visit_children(expr, env)
+        return None
+
+    def _visit_children(self, expr: ast.expr, env: Env) -> None:
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr) and not isinstance(child, ast.Lambda):
+                self.value_of(child, env)
+
+    # ------------------------------------------------------------------
+    def _eval_Constant(self, expr: ast.Constant, env: Env) -> Value:
+        if isinstance(expr.value, bool):
+            return None
+        if isinstance(expr.value, (int, float)):
+            return SCALAR
+        return None
+
+    def _eval_Name(self, expr: ast.Name, env: Env) -> Value:
+        if expr.id in env:
+            return env[expr.id]
+        if expr.id in CONSTANT_DIMS:
+            return CONSTANT_DIMS[expr.id]
+        return self.registry.get(expr.id)
+
+    def _eval_Attribute(self, expr: ast.Attribute, env: Env) -> Value:
+        self.value_of(expr.value, env)
+        if expr.attr in CONSTANT_DIMS:
+            return CONSTANT_DIMS[expr.attr]
+        return self.registry.get(expr.attr)
+
+    def _eval_UnaryOp(self, expr: ast.UnaryOp, env: Env) -> Value:
+        value = self.value_of(expr.operand, env)
+        if isinstance(expr.op, (ast.USub, ast.UAdd)):
+            return value
+        return None
+
+    def _eval_BinOp(self, expr: ast.BinOp, env: Env) -> Value:
+        left = self.value_of(expr.left, env)
+        right = self.value_of(expr.right, env)
+        op = expr.op
+        if isinstance(op, ast.Mult):
+            return self._multiply(left, right)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return self._divide(left, right)
+        if isinstance(op, (ast.Add, ast.Sub)):
+            return self.combine(expr, left, right, "add/subtract")
+        if isinstance(op, ast.Mod):
+            return self.combine(expr, left, right, None)
+        if isinstance(op, ast.Pow):
+            if isinstance(left, Dim) and isinstance(expr.right, ast.Constant) \
+                    and isinstance(expr.right.value, int):
+                return left.pow(expr.right.value)
+            return SCALAR if isinstance(left, _Scalar) else None
+        return None
+
+    @staticmethod
+    def _multiply(left: Value, right: Value) -> Value:
+        if left is None or right is None:
+            return None
+        if isinstance(left, _Scalar):
+            return right
+        if isinstance(right, _Scalar):
+            return left
+        return left.mul(right)
+
+    @staticmethod
+    def _divide(left: Value, right: Value) -> Value:
+        if left is None or right is None:
+            return None
+        if isinstance(right, _Scalar):
+            return left
+        if isinstance(left, _Scalar):
+            return DIMENSIONLESS.div(right)
+        return left.div(right)
+
+    def combine(
+        self, node: ast.AST, left: Value, right: Value, verb: str | None
+    ) -> Value:
+        """Join of operands that must share a dimension (+, -, %, compare)."""
+        if isinstance(left, Dim) and isinstance(right, Dim) and left != right:
+            if verb is not None and self.report is not None:
+                self.report(
+                    "R006",
+                    node,
+                    f"cannot {verb} incompatible dimensions "
+                    f"{left} and {right}",
+                )
+            return None
+        if isinstance(left, Dim):
+            return left
+        if isinstance(right, Dim):
+            return right
+        if isinstance(left, _Scalar) and isinstance(right, _Scalar):
+            return SCALAR
+        return None
+
+    def _eval_Compare(self, expr: ast.Compare, env: Env) -> Value:
+        operands = [expr.left, *expr.comparators]
+        dimensional = all(
+            isinstance(op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+            for op in expr.ops
+        )
+        values = [self.value_of(operand, env) for operand in operands]
+        if dimensional:
+            for first, second, node in zip(values, values[1:], operands[1:]):
+                self.combine(node, first, second, "compare")
+            return DIMENSIONLESS
+        return None
+
+    def _eval_BoolOp(self, expr: ast.BoolOp, env: Env) -> Value:
+        values = [self.value_of(operand, env) for operand in expr.values]
+        result = values[0]
+        for value in values[1:]:
+            if value != result:
+                return None
+        return result
+
+    def _eval_IfExp(self, expr: ast.IfExp, env: Env) -> Value:
+        self.value_of(expr.test, env)
+        body = self.value_of(expr.body, env)
+        orelse = self.value_of(expr.orelse, env)
+        if body == orelse:
+            return body
+        if isinstance(body, _Scalar):
+            return orelse
+        if isinstance(orelse, _Scalar):
+            return body
+        return None
+
+    def _eval_Call(self, expr: ast.Call, env: Env) -> Value:
+        func = expr.func
+        name = ""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+            self.value_of(func.value, env)
+        arg_values = [self.value_of(arg, env) for arg in expr.args]
+        for keyword in expr.keywords:
+            value = self.value_of(keyword.value, env)
+            if keyword.arg is not None:
+                self.check_sink(
+                    keyword.value,
+                    value,
+                    self.registry.get(keyword.arg),
+                    f"keyword argument `{keyword.arg}`",
+                )
+        if name in self.registry:
+            return self.registry[name]
+        if name in _DIMENSIONLESS_CALLS:
+            return DIMENSIONLESS
+        if name in _DIM_PRESERVING:
+            dims = {value for value in arg_values if isinstance(value, Dim)}
+            if len(dims) == 1:
+                return dims.pop()
+            if not dims and arg_values and all(
+                isinstance(value, _Scalar) for value in arg_values
+            ):
+                return SCALAR
+        return None
+
+    # ------------------------------------------------------------------
+    def check_sink(
+        self, node: ast.AST, value: Value, expected: Dim | None, where: str
+    ) -> None:
+        """R006 against a declared sink dimension; R007 against the vocabulary."""
+        if self.report is None or not isinstance(value, Dim):
+            return
+        if expected is not None:
+            if value != expected:
+                self.report(
+                    "R006",
+                    node,
+                    f"{where} expects {expected} but the value is {value}",
+                )
+        elif value not in ACCEPTED_DIMS:
+            self.report(
+                "R007",
+                node,
+                f"value has dimension {value}, which no sink in the "
+                "model vocabulary accepts (likely a double unit "
+                "conversion)",
+            )
+
+
+# ----------------------------------------------------------------------
+# The dataflow analysis and rule driver
+# ----------------------------------------------------------------------
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+class UnitsAnalysis(FlowAnalysis[Env]):
+    """Forward propagation of local-variable dimensions."""
+
+    def __init__(
+        self,
+        registry: dict[str, Dim],
+        params: Env,
+        return_dim: Dim | None = None,
+    ) -> None:
+        self.registry = registry
+        self.params = params
+        self.return_dim = return_dim
+        self.evaluator = Evaluator(registry)
+
+    def initial(self) -> Env:
+        return dict(self.params)
+
+    def join(self, a: Env, b: Env) -> Env:
+        # Keys stay bound (so locals keep shadowing the registry), but
+        # disagreeing values degrade to explicit-unknown.
+        return {
+            key: a.get(key) if a.get(key) == b.get(key) else None
+            for key in a.keys() | b.keys()
+        }
+
+    def transfer(self, stmt: ast.stmt, state: Env) -> Env:
+        return self.apply(stmt, state, self.evaluator)
+
+    def apply(self, stmt: ast.stmt, state: Env, evaluator: Evaluator) -> Env:
+        """Transfer ``stmt`` with an explicit evaluator (for reporting)."""
+        if isinstance(stmt, SCOPE_STMTS):
+            return state
+        heads = head_expressions(stmt)
+        if heads:
+            for expr in heads:
+                evaluator.value_of(expr, state)
+            bound: list[str] = []
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                bound = list(_target_names(stmt.target))
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                bound = [
+                    name
+                    for item in stmt.items
+                    if item.optional_vars is not None
+                    for name in _target_names(item.optional_vars)
+                ]
+            if bound:
+                state = dict(state)
+                for name in bound:
+                    state[name] = None
+            return state
+        if isinstance(stmt, ast.Assign):
+            value = evaluator.value_of(stmt.value, state)
+            state = dict(state)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state[target.id] = value
+                    evaluator.check_sink(
+                        stmt.value, value, None, f"assignment to `{target.id}`"
+                    )
+                elif isinstance(target, ast.Attribute):
+                    evaluator.check_sink(
+                        stmt.value,
+                        value,
+                        evaluator.registry.get(target.attr),
+                        f"attribute `{target.attr}`",
+                    )
+                else:
+                    for name in _target_names(target):
+                        state[name] = None
+            return state
+        if isinstance(stmt, ast.AnnAssign):
+            declared = annotation_dim(stmt.annotation)
+            value: Value = None
+            if stmt.value is not None:
+                value = evaluator.value_of(stmt.value, state)
+                evaluator.check_sink(stmt.value, value, declared, "annotated assignment")
+            if isinstance(stmt.target, ast.Name):
+                state = dict(state)
+                state[stmt.target.id] = declared if declared is not None else value
+            return state
+        if isinstance(stmt, ast.AugAssign):
+            value = evaluator.value_of(stmt.value, state)
+            additive = isinstance(stmt.op, (ast.Add, ast.Sub))
+            if isinstance(stmt.target, ast.Name):
+                current = state.get(stmt.target.id)
+                combined = (
+                    evaluator.combine(stmt, current, value, "add/subtract")
+                    if additive
+                    else None
+                )
+                state = dict(state)
+                state[stmt.target.id] = combined
+            elif isinstance(stmt.target, ast.Attribute) and additive:
+                evaluator.combine(
+                    stmt,
+                    evaluator.registry.get(stmt.target.attr),
+                    value,
+                    "add/subtract",
+                )
+            return state
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = evaluator.value_of(stmt.value, state)
+                evaluator.check_sink(stmt.value, value, self.return_dim, "return value")
+            return state
+        # Any other simple statement: evaluate contained expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                evaluator.value_of(child, state)
+        return state
+
+
+def check_function(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    registry: dict[str, Dim],
+) -> list[tuple[str, ast.AST, str]]:
+    """Run the units analysis over one function; return its violations."""
+    args = func.args
+    params: Env = {
+        arg.arg: annotation_dim(arg.annotation)
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    }
+    for arg in (args.vararg, args.kwarg):
+        if arg is not None:
+            params[arg.arg] = None
+    analysis = UnitsAnalysis(registry, params, annotation_dim(func.returns))
+    cfg = build_cfg(func)
+    try:
+        solution = solve_forward(cfg, analysis)
+    except FixpointDivergence:  # pragma: no cover - defensive
+        return []
+    violations: list[tuple[str, ast.AST, str]] = []
+    seen: set[tuple[str, int, int]] = set()
+
+    def report(rule_id: str, node: ast.AST, message: str) -> None:
+        key = (rule_id, getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+        if key not in seen:
+            seen.add(key)
+            violations.append((rule_id, node, message))
+
+    reporter = Evaluator(registry, report)
+    for block in cfg.reverse_postorder():
+        state = solution.block_in[block.index]
+        if state is None:
+            continue
+        for stmt in block.stmts:
+            state = analysis.apply(stmt, state, reporter)
+    return violations
+
+
+def analyze_units(
+    src: SourceFile, project: ProjectContext
+) -> list[tuple[str, ast.AST, str]]:
+    """All R006/R007 violations in one file (cached on the project)."""
+    cache = project.scratch.setdefault("units", {})
+    key = str(src.path)
+    if key not in cache:
+        registry = project.scratch.get("units_registry")
+        if registry is None:
+            registry = collect_registry(project.files)
+            project.scratch["units_registry"] = registry
+        violations: list[tuple[str, ast.AST, str]] = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                violations.extend(check_function(node, registry))
+        cache[key] = violations
+    return cache[key]
+
+
+class _UnitsRuleBase:
+    """Shared driver: run the units analysis, emit one rule's findings."""
+
+    rule_id = "R000"
+    title = ""
+    aliases: tuple[str, ...] = ()
+
+    def check(self, src: SourceFile, project: ProjectContext) -> Iterator[Finding]:
+        for rule_id, node, message in analyze_units(src, project):
+            if rule_id == self.rule_id:
+                yield Finding(
+                    path=str(src.path),
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    rule_id=rule_id,
+                    message=message,
+                )
+
+
+class UnitsMismatchRule(_UnitsRuleBase):
+    """R006: no arithmetic or sinks across incompatible dimensions."""
+
+    rule_id = "R006"
+    title = "no mixing of incompatible physical dimensions (time/energy/...)"
+
+
+class UnitsSinkRule(_UnitsRuleBase):
+    """R007: produced dimensions must stay in the model vocabulary."""
+
+    rule_id = "R007"
+    title = "arithmetic results stay within the model's dimension vocabulary"

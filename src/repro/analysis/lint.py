@@ -13,6 +13,30 @@ from repro.analysis.rules import DEFAULT_RULES, LintRule
 #: Directories never worth linting.
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
 
+#: Per-directory rule profiles: rules listed here are not applied to
+#: files under a directory of that name.  Tests exercise clocks and ad
+#: hoc RNGs on purpose and define throwaway policy classes that have no
+#: business in the registry or the device-constant vocabulary; examples
+#: define demonstration policies without registering them.
+PROFILES: dict[str, frozenset[str]] = {
+    "tests": frozenset({"R002", "R004", "R005"}),
+    "examples": frozenset({"R004"}),
+}
+
+
+def disabled_for(path: Path) -> frozenset[str]:
+    """Rule ids the directory profiles switch off for ``path``."""
+    disabled: set[str] = set()
+    for part, rule_ids in PROFILES.items():
+        if part in path.parts:
+            disabled |= rule_ids
+    return frozenset(disabled)
+
+
+def rule_ids(rule: LintRule) -> frozenset[str]:
+    """Every id a rule answers to: its own plus historical aliases."""
+    return frozenset({rule.rule_id, *getattr(rule, "aliases", ())})
+
 
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
     """Expand files/directories into a sorted list of ``.py`` files."""
@@ -58,19 +82,25 @@ def lint_paths(
 ) -> list[Finding]:
     """Run the lint rules over ``paths`` and return sorted findings.
 
-    ``select`` restricts the run to the given rule ids (e.g.
-    ``["R001", "R003"]``); ``rules`` substitutes the rule set entirely.
+    ``select`` restricts the run to the given rule ids — aliases work,
+    so ``["R001"]`` selects the R010 successor; ``rules`` substitutes
+    the rule set entirely.  Directory :data:`PROFILES` switch rules off
+    per file.
     """
     active = list(rules if rules is not None else DEFAULT_RULES)
     if select is not None:
         wanted = {rule_id.upper() for rule_id in select}
-        active = [rule for rule in active if rule.rule_id in wanted]
+        active = [rule for rule in active if rule_ids(rule) & wanted]
     sources, findings = parse_files(iter_python_files(paths))
     project = ProjectContext.build(sources)
     for src in sources:
         lines = src.lines
+        disabled = disabled_for(src.path)
         for rule in active:
+            if rule.rule_id in disabled:
+                continue
+            aliases = tuple(getattr(rule, "aliases", ()))
             for finding in rule.check(src, project):
-                if not suppressed(finding, lines):
+                if not suppressed(finding, lines, aliases):
                     findings.append(finding)
     return sorted(findings)

@@ -1,12 +1,7 @@
-"""The project-specific lint rules (R001-R005).
+"""The project-specific lint rules (R002-R010).
 
 Each rule checks one contract the reproduction's correctness rests on:
 
-``R001``
-    Every concrete ``HybridMemoryPolicy.access`` override calls
-    ``mm.record_request(...)`` exactly once on every control-flow path,
-    so all policies are scored by identical bookkeeping (Eq. 1-3 divide
-    event counts by the request total this call maintains).
 ``R002``
     No unseeded randomness or wall-clock reads inside ``src/repro``:
     RNGs must be ``numpy`` Generators flowing from an explicit seed.
@@ -19,25 +14,71 @@ Each rule checks one contract the reproduction's correctness rests on:
     Latency/energy keyword arguments in the device-model layer
     (``repro.memory``) must come from named constants, not inline
     magic numbers.
+``R006``/``R007``
+    Units-of-measure checking: no arithmetic across incompatible
+    physical dimensions (ns vs s, pJ vs J), and no dimensions outside
+    the model vocabulary (:mod:`repro.analysis.flow.units`).
+``R008``/``R009``
+    Typestate checking of the page life-cycle protocol and the
+    count-before-traffic ordering of ``mm.record_request``
+    (:mod:`repro.analysis.flow.typestate`).
+``R010``
+    Every concrete ``HybridMemoryPolicy.access`` override calls
+    ``mm.record_request(...)`` exactly once on every control-flow path,
+    so all policies are scored by identical bookkeeping (Eq. 1-3 divide
+    event counts by the request total this call maintains).  R010
+    supersedes PR 1's R001 — same contract, now solved on the fixpoint
+    engine of :mod:`repro.analysis.flow` instead of by abstract path
+    enumeration — and answers to ``R001`` as an alias in ``--select``
+    and ``# noqa`` comments.
+
+R006-R010 are dataflow analyses living in :mod:`repro.analysis.flow`;
+this module hosts the single-pass syntactic rules and assembles
+:data:`DEFAULT_RULES`.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.analysis.context import ProjectContext, SourceFile, is_abstract
 from repro.analysis.findings import Finding
+from repro.analysis.flow.accounting import (
+    AccountingRule,
+    analyze_record_request_paths,
+)
+from repro.analysis.flow.typestate import ProtocolRule, RecordedFirstRule
+from repro.analysis.flow.units import UnitsMismatchRule, UnitsSinkRule
 
-#: Saturation value for the R001 path analysis: "two or more calls".
-_MANY = 2
+__all__ = [
+    "LintRule",
+    "DeterminismRule",
+    "MutableDefaultRule",
+    "RegistryRule",
+    "MagicNumberRule",
+    "AccountingRule",
+    "ProtocolRule",
+    "RecordedFirstRule",
+    "UnitsMismatchRule",
+    "UnitsSinkRule",
+    "analyze_record_request_paths",
+    "DEFAULT_RULES",
+]
 
 
 class LintRule:
-    """Base class: one rule, one ``check`` pass over a parsed file."""
+    """Base class: one rule, one ``check`` pass over a parsed file.
+
+    The lint driver duck-types rules (``rule_id``/``title``/``check``
+    and an optional ``aliases`` tuple), so the dataflow rules in
+    :mod:`repro.analysis.flow` participate without inheriting from
+    this class.
+    """
 
     rule_id: str = "R000"
     title: str = "abstract rule"
+    aliases: tuple[str, ...] = ()
 
     def check(self, src: SourceFile,
               project: ProjectContext) -> Iterator[Finding]:
@@ -52,189 +93,6 @@ class LintRule:
             rule_id=self.rule_id,
             message=message,
         )
-
-
-# ----------------------------------------------------------------------
-# R001 — the accounting contract
-# ----------------------------------------------------------------------
-def _record_request_calls(node: ast.AST) -> int:
-    """``record_request`` call sites within one expression/statement head.
-
-    Does not descend into nested function/class definitions or lambdas
-    (those bodies do not run inline).
-    """
-    count = 0
-    if isinstance(node, ast.Call):
-        func = node.func
-        name = func.attr if isinstance(func, ast.Attribute) \
-            else getattr(func, "id", "")
-        if name == "record_request":
-            count += 1
-    for child in ast.iter_child_nodes(node):
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                              ast.ClassDef, ast.Lambda)):
-            continue
-        count += _record_request_calls(child)
-    return count
-
-
-def _saturate(count: int) -> int:
-    return min(count, _MANY)
-
-
-def _add_counts(counts: set[int], extra: int) -> set[int]:
-    if not extra:
-        return set(counts)
-    return {_saturate(value + extra) for value in counts}
-
-
-def _analyze_block(
-    stmts: Iterable[ast.stmt], counts: set[int]
-) -> tuple[set[int], set[int]]:
-    """Abstractly execute a statement list.
-
-    ``counts`` is the set of possible ``record_request`` call totals on
-    the paths reaching this block (saturated at :data:`_MANY`).
-    Returns ``(fallthrough_counts, return_counts)``; paths ending in
-    ``raise`` are dropped (error paths need not account a request).
-    """
-    returned: set[int] = set()
-    for stmt in stmts:
-        if not counts:
-            break  # remaining statements are unreachable
-        counts, exits = _analyze_stmt(stmt, counts)
-        returned |= exits
-    return counts, returned
-
-
-def _analyze_stmt(
-    stmt: ast.stmt, counts: set[int]
-) -> tuple[set[int], set[int]]:
-    if isinstance(stmt, ast.Return):
-        calls = _record_request_calls(stmt.value) if stmt.value else 0
-        return set(), _add_counts(counts, calls)
-
-    if isinstance(stmt, ast.Raise):
-        return set(), set()
-
-    if isinstance(stmt, ast.If):
-        after_test = _add_counts(counts, _record_request_calls(stmt.test))
-        then_fall, then_ret = _analyze_block(stmt.body, after_test)
-        else_fall, else_ret = _analyze_block(stmt.orelse, after_test)
-        return then_fall | else_fall, then_ret | else_ret
-
-    if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
-        head = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) \
-            else stmt.test
-        base = _add_counts(counts, _record_request_calls(head))
-        body_fall, body_ret = _analyze_block(stmt.body, {0})
-        body_adds = any(value > 0 for value in body_fall | body_ret)
-        if body_adds:
-            # The body may run zero, one or many times.
-            fall = set(base)
-            for extra in (0, *body_fall, _MANY):
-                fall |= _add_counts(base, extra)
-        else:
-            fall = base
-        returned: set[int] = set()
-        for extra in body_ret:
-            returned |= _add_counts(base, extra)
-        if body_ret and body_adds:
-            returned.add(_MANY)
-        orelse_fall, orelse_ret = _analyze_block(stmt.orelse, fall)
-        return orelse_fall, returned | orelse_ret
-
-    if isinstance(stmt, (ast.With, ast.AsyncWith)):
-        calls = sum(
-            _record_request_calls(item.context_expr) for item in stmt.items
-        )
-        return _analyze_block(stmt.body, _add_counts(counts, calls))
-
-    if isinstance(stmt, ast.Try):
-        body_fall, body_ret = _analyze_block(stmt.body, counts)
-        fall = set(body_fall)
-        returned = set(body_ret)
-        for handler in stmt.handlers:
-            # The exception may fire before or after any body call.
-            entry = counts | body_fall
-            h_fall, h_ret = _analyze_block(handler.body, entry)
-            fall |= h_fall
-            returned |= h_ret
-        if stmt.orelse:
-            fall, o_ret = _analyze_block(stmt.orelse, fall)
-            returned |= o_ret
-        if stmt.finalbody:
-            fall, f_ret = _analyze_block(stmt.finalbody, fall)
-            returned |= f_ret
-        return fall, returned
-
-    if isinstance(stmt, ast.Match):
-        base = _add_counts(counts, _record_request_calls(stmt.subject))
-        fall = set(base)  # no case may match
-        returned = set()
-        for case in stmt.cases:
-            c_fall, c_ret = _analyze_block(case.body, base)
-            fall |= c_fall
-            returned |= c_ret
-        return fall, returned
-
-    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
-                         ast.ClassDef)):
-        return counts, set()  # nested definitions do not run inline
-
-    if isinstance(stmt, (ast.Break, ast.Continue, ast.Pass,
-                         ast.Global, ast.Nonlocal,
-                         ast.Import, ast.ImportFrom)):
-        return counts, set()
-
-    # Simple statements: Expr, Assign, AugAssign, AnnAssign, Assert, ...
-    return _add_counts(counts, _record_request_calls(stmt)), set()
-
-
-def analyze_record_request_paths(func: ast.FunctionDef) -> set[int]:
-    """Possible ``record_request`` totals over all paths through ``func``.
-
-    Counts are saturated at 2 (= "two or more").
-    """
-    fallthrough, returned = _analyze_block(func.body, {0})
-    return fallthrough | returned
-
-
-class RecordRequestRule(LintRule):
-    """R001: ``access`` must charge the request exactly once per path."""
-
-    rule_id = "R001"
-    title = "policy access() must call mm.record_request exactly once"
-
-    def check(self, src: SourceFile,
-              project: ProjectContext) -> Iterator[Finding]:
-        for node in ast.walk(src.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
-            if not project.is_policy_class(node) or is_abstract(node):
-                continue
-            for item in node.body:
-                if isinstance(item, ast.FunctionDef) and item.name == "access":
-                    yield from self._check_access(src, node, item)
-
-    def _check_access(self, src: SourceFile, cls: ast.ClassDef,
-                      func: ast.FunctionDef) -> Iterator[Finding]:
-        counts = analyze_record_request_paths(func)
-        if counts == {1}:
-            return
-        label = f"{cls.name}.access"
-        if counts == {0}:
-            message = (f"{label} never calls mm.record_request; every "
-                       "request must be counted exactly once")
-        elif 0 in counts and any(value >= 1 for value in counts):
-            message = (f"{label} skips mm.record_request on some "
-                       "control-flow paths; it must run exactly once "
-                       "on every path")
-        else:
-            message = (f"{label} may call mm.record_request more than "
-                       "once on a path; requests must be counted "
-                       "exactly once")
-        yield self.finding(src, func, message)
 
 
 # ----------------------------------------------------------------------
@@ -472,10 +330,14 @@ class MagicNumberRule(LintRule):
 
 
 #: The rules ``repro lint`` runs by default, in report order.
-DEFAULT_RULES: tuple[LintRule, ...] = (
-    RecordRequestRule(),
+DEFAULT_RULES: tuple = (
     DeterminismRule(),
     MutableDefaultRule(),
     RegistryRule(),
     MagicNumberRule(),
+    UnitsMismatchRule(),
+    UnitsSinkRule(),
+    ProtocolRule(),
+    RecordedFirstRule(),
+    AccountingRule(),
 )

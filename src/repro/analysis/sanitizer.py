@@ -78,7 +78,7 @@ class SanitizerError(AssertionError):
 _FIELD_NAMES: dict[type, tuple[str, ...]] = {}
 
 
-def _counter_snapshot(accounting) -> dict[str, int]:
+def _counter_snapshot(accounting: object) -> dict[str, int]:
     names = _FIELD_NAMES.get(type(accounting))
     if names is None:
         names = tuple(f.name for f in fields(accounting))
@@ -368,7 +368,7 @@ class SanitizedPolicy:
         self._inner.validate()
         self.sanitizer.check_deep(include_policy=False)
 
-    def __getattr__(self, attribute: str):
+    def __getattr__(self, attribute: str) -> object:
         return getattr(self._inner, attribute)
 
     def __repr__(self) -> str:

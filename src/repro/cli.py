@@ -18,7 +18,8 @@ Commands
 ``sweep``
     Run a threshold / window / DRAM-ratio sweep.
 ``lint``
-    Run the project-specific static-analysis rules (R001-R005) over
+    Run the project-specific static-analysis rules (R002-R010,
+    including the dataflow-based units and typestate checks) over
     source paths; exits nonzero on findings.
 """
 
@@ -292,12 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the project lint rules (R001-R005) over source paths",
+        help="run the project lint rules (R002-R010) over source paths",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
     p.add_argument("--select", nargs="+", metavar="RULE",
-                   help="restrict to the given rule ids (e.g. R001 R003)")
+                   help="restrict to the given rule ids (e.g. R010 R003)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.set_defaults(func=_cmd_lint)

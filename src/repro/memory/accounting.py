@@ -13,132 +13,134 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
 
+from repro.units import Count, Ratio
+
 
 @dataclass
 class AccessAccounting:
     """Raw event counters for one simulation run."""
 
     # Request stream -----------------------------------------------------
-    read_requests: int = 0
-    write_requests: int = 0
+    read_requests: Count = 0
+    write_requests: Count = 0
 
     # Hits (request served in place) --------------------------------------
-    dram_read_hits: int = 0
-    dram_write_hits: int = 0
-    nvm_read_hits: int = 0
-    nvm_write_hits: int = 0
+    dram_read_hits: Count = 0
+    dram_write_hits: Count = 0
+    nvm_read_hits: Count = 0
+    nvm_write_hits: Count = 0
 
     # Page faults ----------------------------------------------------------
-    read_faults: int = 0
-    write_faults: int = 0
-    faults_filled_dram: int = 0
-    faults_filled_nvm: int = 0
+    read_faults: Count = 0
+    write_faults: Count = 0
+    faults_filled_dram: Count = 0
+    faults_filled_nvm: Count = 0
 
     # Migrations between the two memories ----------------------------------
-    migrations_to_dram: int = 0
-    migrations_to_nvm: int = 0
+    migrations_to_dram: Count = 0
+    migrations_to_nvm: Count = 0
 
     # Evictions from memory to disk ----------------------------------------
-    clean_evictions: int = 0
-    dirty_evictions: int = 0
+    clean_evictions: Count = 0
+    dirty_evictions: Count = 0
 
     # ----------------------------------------------------------------------
     # Totals
     # ----------------------------------------------------------------------
     @property
-    def total_requests(self) -> int:
+    def total_requests(self) -> Count:
         return self.read_requests + self.write_requests
 
     @property
-    def hits(self) -> int:
+    def hits(self) -> Count:
         return self.dram_hits + self.nvm_hits
 
     @property
-    def dram_hits(self) -> int:
+    def dram_hits(self) -> Count:
         return self.dram_read_hits + self.dram_write_hits
 
     @property
-    def nvm_hits(self) -> int:
+    def nvm_hits(self) -> Count:
         return self.nvm_read_hits + self.nvm_write_hits
 
     @property
-    def page_faults(self) -> int:
+    def page_faults(self) -> Count:
         return self.read_faults + self.write_faults
 
     @property
-    def migrations(self) -> int:
+    def migrations(self) -> Count:
         return self.migrations_to_dram + self.migrations_to_nvm
 
     @property
-    def evictions_to_disk(self) -> int:
+    def evictions_to_disk(self) -> Count:
         return self.clean_evictions + self.dirty_evictions
 
     # ----------------------------------------------------------------------
     # Table I probabilities (per total requests)
     # ----------------------------------------------------------------------
-    def _ratio(self, count: int) -> float:
+    def _ratio(self, count: Count) -> Ratio:
         total = self.total_requests
         return count / total if total else 0.0
 
     @property
-    def p_hit_dram(self) -> float:
+    def p_hit_dram(self) -> Ratio:
         """``PHitDRAM``: fraction of requests served by DRAM."""
         return self._ratio(self.dram_hits)
 
     @property
-    def p_hit_nvm(self) -> float:
+    def p_hit_nvm(self) -> Ratio:
         """``PHitNVM``: fraction of requests served by NVM."""
         return self._ratio(self.nvm_hits)
 
     @property
-    def p_miss(self) -> float:
+    def p_miss(self) -> Ratio:
         """``PMiss``: fraction of requests that page-faulted."""
         return self._ratio(self.page_faults)
 
     @property
-    def p_read_dram(self) -> float:
+    def p_read_dram(self) -> Ratio:
         """``PRDRAM``: read share *within* DRAM hits."""
         return self.dram_read_hits / self.dram_hits if self.dram_hits else 0.0
 
     @property
-    def p_write_dram(self) -> float:
+    def p_write_dram(self) -> Ratio:
         """``PWDRAM``: write share within DRAM hits."""
         return self.dram_write_hits / self.dram_hits if self.dram_hits else 0.0
 
     @property
-    def p_read_nvm(self) -> float:
+    def p_read_nvm(self) -> Ratio:
         """``PRNVM``: read share within NVM hits."""
         return self.nvm_read_hits / self.nvm_hits if self.nvm_hits else 0.0
 
     @property
-    def p_write_nvm(self) -> float:
+    def p_write_nvm(self) -> Ratio:
         """``PWNVM``: write share within NVM hits."""
         return self.nvm_write_hits / self.nvm_hits if self.nvm_hits else 0.0
 
     @property
-    def p_mig_d(self) -> float:
+    def p_mig_d(self) -> Ratio:
         """``PMigD``: NVM->DRAM migrations per request."""
         return self._ratio(self.migrations_to_dram)
 
     @property
-    def p_mig_n(self) -> float:
+    def p_mig_n(self) -> Ratio:
         """``PMigN``: DRAM->NVM migrations per request."""
         return self._ratio(self.migrations_to_nvm)
 
     @property
-    def p_disk_to_dram(self) -> float:
+    def p_disk_to_dram(self) -> Ratio:
         """``PDiskToD``: of the faults, the fraction filled into DRAM."""
         faults = self.page_faults
         return self.faults_filled_dram / faults if faults else 0.0
 
     @property
-    def p_disk_to_nvm(self) -> float:
+    def p_disk_to_nvm(self) -> Ratio:
         """``PDiskToN``: of the faults, the fraction filled into NVM."""
         faults = self.page_faults
         return self.faults_filled_nvm / faults if faults else 0.0
 
     @property
-    def hit_ratio(self) -> float:
+    def hit_ratio(self) -> Ratio:
         return self._ratio(self.hits)
 
     # ----------------------------------------------------------------------
@@ -202,10 +204,10 @@ class WearAccounting:
     request contributes a single line write.
     """
 
-    page_factor: int = 64
-    fault_fill_writes: int = 0
-    migration_writes: int = 0
-    request_writes: int = 0
+    page_factor: Count = 64
+    fault_fill_writes: Count = 0
+    migration_writes: Count = 0
+    request_writes: Count = 0
     page_writes: dict[int, int] = field(default_factory=dict)
 
     def record_fault_fill(self, page: int) -> None:
@@ -225,13 +227,13 @@ class WearAccounting:
         self.page_writes[page] = self.page_writes.get(page, 0) + 1
 
     @property
-    def total_writes(self) -> int:
+    def total_writes(self) -> Count:
         return self.fault_fill_writes + self.migration_writes + self.request_writes
 
     @property
-    def max_page_writes(self) -> int:
+    def max_page_writes(self) -> Count:
         return max(self.page_writes.values(), default=0)
 
     @property
-    def touched_pages(self) -> int:
+    def touched_pages(self) -> Count:
         return len(self.page_writes)

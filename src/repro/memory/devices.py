@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.units import Bytes, Joules, Seconds, Watts
+
 NANOSECOND = 1e-9
 MICROSECOND = 1e-6
 MILLISECOND = 1e-3
@@ -38,11 +40,11 @@ class MemoryDeviceSpec:
     """
 
     name: str
-    read_latency: float
-    write_latency: float
-    read_energy: float
-    write_energy: float
-    static_power_per_gb: float
+    read_latency: Seconds
+    write_latency: Seconds
+    read_energy: Joules
+    write_energy: Joules
+    static_power_per_gb: Watts
     endurance_cycles: int | None = None
 
     def __post_init__(self) -> None:
@@ -59,13 +61,13 @@ class MemoryDeviceSpec:
             raise ValueError("endurance_cycles must be positive when given")
 
     # ------------------------------------------------------------------
-    def access_latency(self, is_write: bool) -> float:
+    def access_latency(self, is_write: bool) -> Seconds:
         return self.write_latency if is_write else self.read_latency
 
-    def access_energy(self, is_write: bool) -> float:
+    def access_energy(self, is_write: bool) -> Joules:
         return self.write_energy if is_write else self.read_energy
 
-    def static_power(self, capacity_bytes: int) -> float:
+    def static_power(self, capacity_bytes: Bytes) -> Watts:
         """Static power in watts for ``capacity_bytes`` of this memory."""
         return self.static_power_per_gb * capacity_bytes / GIB
 
@@ -105,7 +107,7 @@ class DiskSpec:
     """
 
     name: str
-    access_latency: float
+    access_latency: Seconds
 
     def __post_init__(self) -> None:
         if self.access_latency < 0:

@@ -19,35 +19,36 @@ from dataclasses import dataclass
 
 from repro.memory.accounting import AccessAccounting
 from repro.memory.specs import HybridMemorySpec
+from repro.units import Count, Ratio, Seconds
 
 
 @dataclass(frozen=True)
 class PerformanceBreakdown:
     """Per-request latency split into the paper's AMAT terms (seconds)."""
 
-    dram_hit_time: float
-    nvm_hit_time: float
-    fault_time: float
-    migration_to_dram_time: float
-    migration_to_nvm_time: float
+    dram_hit_time: Seconds
+    nvm_hit_time: Seconds
+    fault_time: Seconds
+    migration_to_dram_time: Seconds
+    migration_to_nvm_time: Seconds
 
     @property
-    def request_time(self) -> float:
+    def request_time(self) -> Seconds:
         """Hit-service component ("Read/Write Requests" in Fig. 2b/4c)."""
         return self.dram_hit_time + self.nvm_hit_time
 
     @property
-    def migration_time(self) -> float:
+    def migration_time(self) -> Seconds:
         """Total migration component ("Migrations" in Fig. 2b/4c)."""
         return self.migration_to_dram_time + self.migration_to_nvm_time
 
     @property
-    def amat(self) -> float:
+    def amat(self) -> Seconds:
         """Average memory access time per request (Eq. 1)."""
         return self.request_time + self.fault_time + self.migration_time
 
     @property
-    def memory_time(self) -> float:
+    def memory_time(self) -> Seconds:
         """AMAT excluding the disk-fault term (hit + migration time).
 
         The paper's AMAT figures (2b, 4c) stack only "Read/Write
@@ -59,11 +60,11 @@ class PerformanceBreakdown:
         """
         return self.request_time + self.migration_time
 
-    def elapsed_time(self, total_requests: int) -> float:
+    def elapsed_time(self, total_requests: Count) -> Seconds:
         """Modelled wall-clock time of the run (requests x AMAT)."""
         return self.amat * total_requests
 
-    def normalized_to(self, baseline: "PerformanceBreakdown") -> float:
+    def normalized_to(self, baseline: "PerformanceBreakdown") -> Ratio:
         """AMAT relative to a baseline run (the figures' y-axis)."""
         if baseline.amat == 0:
             raise ZeroDivisionError("baseline AMAT is zero")

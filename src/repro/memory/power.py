@@ -22,44 +22,45 @@ from dataclasses import dataclass
 from repro.memory.accounting import AccessAccounting
 from repro.memory.metrics import PerformanceBreakdown, compute_performance
 from repro.memory.specs import HybridMemorySpec
+from repro.units import Count, Joules, Ratio, Seconds
 
 
 @dataclass(frozen=True)
 class PowerBreakdown:
     """Per-request energy split into the paper's APPR terms (joules)."""
 
-    static: float
-    dram_hit: float
-    nvm_hit: float
-    fault_fill: float
-    migration_to_dram: float
-    migration_to_nvm: float
+    static: Joules
+    dram_hit: Joules
+    nvm_hit: Joules
+    fault_fill: Joules
+    migration_to_dram: Joules
+    migration_to_nvm: Joules
 
     @property
-    def dynamic_hit(self) -> float:
+    def dynamic_hit(self) -> Joules:
         """Hit-service dynamic energy ("Dynamic" in Fig. 1/2a/4a)."""
         return self.dram_hit + self.nvm_hit
 
     @property
-    def migration(self) -> float:
+    def migration(self) -> Joules:
         """Total migration energy ("Migration" in Fig. 2a/4a)."""
         return self.migration_to_dram + self.migration_to_nvm
 
     @property
-    def appr(self) -> float:
+    def appr(self) -> Joules:
         """Average power per request (Eq. 2 + prorated Eq. 3)."""
         return self.static + self.dynamic_hit + self.fault_fill + self.migration
 
     @property
-    def dynamic_total(self) -> float:
+    def dynamic_total(self) -> Joules:
         """All dynamic energy (everything except the static term)."""
         return self.dynamic_hit + self.fault_fill + self.migration
 
-    def total_energy(self, total_requests: int) -> float:
+    def total_energy(self, total_requests: Count) -> Joules:
         """Total modelled energy of the run (requests x APPR), joules."""
         return self.appr * total_requests
 
-    def normalized_to(self, baseline: "PowerBreakdown") -> float:
+    def normalized_to(self, baseline: "PowerBreakdown") -> Ratio:
         """APPR relative to a baseline run (the figures' y-axis)."""
         if baseline.appr == 0:
             raise ZeroDivisionError("baseline APPR is zero")
@@ -70,7 +71,7 @@ def compute_power(
     accounting: AccessAccounting,
     spec: HybridMemorySpec,
     performance: PerformanceBreakdown | None = None,
-    inter_request_gap: float = 0.0,
+    inter_request_gap: Seconds = 0.0,
 ) -> PowerBreakdown:
     """Evaluate Eq. 2 (+ prorated Eq. 3) on a run's event counts.
 

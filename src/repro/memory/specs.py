@@ -23,6 +23,7 @@ from repro.memory.devices import (
     pcm_spec,
 )
 from repro.trace.record import ACCESS_SIZE, PAGE_SIZE
+from repro.units import Bytes, Count, Joules, Ratio, Seconds, Watts
 
 #: Paper Section V-A: memory holds 75 % of the workload's pages.
 DEFAULT_MEMORY_FRACTION = 0.75
@@ -37,10 +38,10 @@ class HybridMemorySpec:
     dram: MemoryDeviceSpec
     nvm: MemoryDeviceSpec
     disk: DiskSpec
-    dram_pages: int
-    nvm_pages: int
-    page_size: int = PAGE_SIZE
-    access_size: int = ACCESS_SIZE
+    dram_pages: Count
+    nvm_pages: Count
+    page_size: Bytes = PAGE_SIZE
+    access_size: Bytes = ACCESS_SIZE
 
     def __post_init__(self) -> None:
         if self.dram_pages < 0 or self.nvm_pages < 0:
@@ -56,28 +57,28 @@ class HybridMemorySpec:
     # Derived quantities
     # ------------------------------------------------------------------
     @property
-    def page_factor(self) -> int:
+    def page_factor(self) -> Count:
         """Paper's ``PageFactor``: memory accesses needed to move a page."""
         return self.page_size // self.access_size
 
     @property
-    def total_pages(self) -> int:
+    def total_pages(self) -> Count:
         return self.dram_pages + self.nvm_pages
 
     @property
-    def dram_bytes(self) -> int:
+    def dram_bytes(self) -> Bytes:
         return self.dram_pages * self.page_size
 
     @property
-    def nvm_bytes(self) -> int:
+    def nvm_bytes(self) -> Bytes:
         return self.nvm_pages * self.page_size
 
     @property
-    def total_bytes(self) -> int:
+    def total_bytes(self) -> Bytes:
         return self.dram_bytes + self.nvm_bytes
 
     @property
-    def static_power(self) -> float:
+    def static_power(self) -> Watts:
         """Total background power (watts) of both modules."""
         return (
             self.dram.static_power(self.dram_bytes)
@@ -95,25 +96,25 @@ class HybridMemorySpec:
     # ------------------------------------------------------------------
     # Migration cost helpers (paper Eq. 1 / Eq. 2 last terms)
     # ------------------------------------------------------------------
-    def migration_latency_to_dram(self) -> float:
+    def migration_latency_to_dram(self) -> Seconds:
         """Time to migrate one page NVM -> DRAM."""
         return self.page_factor * (
             self.nvm.read_latency + self.dram.write_latency
         )
 
-    def migration_latency_to_nvm(self) -> float:
+    def migration_latency_to_nvm(self) -> Seconds:
         """Time to migrate one page DRAM -> NVM."""
         return self.page_factor * (
             self.dram.read_latency + self.nvm.write_latency
         )
 
-    def migration_energy_to_dram(self) -> float:
+    def migration_energy_to_dram(self) -> Joules:
         """Energy to migrate one page NVM -> DRAM."""
         return self.page_factor * (
             self.nvm.read_energy + self.dram.write_energy
         )
 
-    def migration_energy_to_nvm(self) -> float:
+    def migration_energy_to_nvm(self) -> Joules:
         """Energy to migrate one page DRAM -> NVM."""
         return self.page_factor * (
             self.dram.read_energy + self.nvm.write_energy
@@ -125,14 +126,14 @@ class HybridMemorySpec:
     @classmethod
     def for_footprint(
         cls,
-        footprint_pages: int,
-        memory_fraction: float = DEFAULT_MEMORY_FRACTION,
-        dram_fraction: float = DEFAULT_DRAM_FRACTION,
+        footprint_pages: Count,
+        memory_fraction: Ratio = DEFAULT_MEMORY_FRACTION,
+        dram_fraction: Ratio = DEFAULT_DRAM_FRACTION,
         dram: MemoryDeviceSpec | None = None,
         nvm: MemoryDeviceSpec | None = None,
         disk: DiskSpec | None = None,
-        page_size: int = PAGE_SIZE,
-        access_size: int = ACCESS_SIZE,
+        page_size: Bytes = PAGE_SIZE,
+        access_size: Bytes = ACCESS_SIZE,
     ) -> "HybridMemorySpec":
         """Size a hybrid memory for a workload per the paper's rule.
 
@@ -168,7 +169,7 @@ class HybridMemorySpec:
         """Same total capacity, all frames NVM (Fig. 2c/4b baseline)."""
         return replace(self, dram_pages=0, nvm_pages=self.total_pages)
 
-    def with_dram_fraction(self, dram_fraction: float) -> "HybridMemorySpec":
+    def with_dram_fraction(self, dram_fraction: Ratio) -> "HybridMemorySpec":
         """Re-split the same total capacity with a new DRAM share."""
         if not 0.0 <= dram_fraction <= 1.0:
             raise ValueError("dram_fraction must be in [0, 1]")

@@ -36,7 +36,7 @@ class HybridMemoryPolicy(abc.ABC):
         request through the manager (``serve_hit`` / ``fault_fill``
         plus any migrations/evictions the policy decides on).
 
-        This contract is machine-checked: statically by lint rule R001
+        This contract is machine-checked: statically by lint rule R010
         (``python -m repro lint``) and at runtime by the simulation
         sanitizer (:mod:`repro.analysis.sanitizer`), which asserts that
         the request counter advanced exactly once per ``access`` call.

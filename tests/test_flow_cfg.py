@@ -1,0 +1,296 @@
+"""Tests for the CFG builder and the generic fixpoint engine."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.flow import (
+    FlowAnalysis,
+    build_cfg,
+    head_expressions,
+    solve_backward,
+    solve_forward,
+)
+from repro.analysis.flow.engine import FixpointDivergence, MAX_VISITS_PER_BLOCK
+from repro.analysis.flow.lattice import TOP, flat_join, map_join
+
+import pytest
+
+
+def _func(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    return next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+
+
+def _cfg(source: str):
+    return build_cfg(_func(source))
+
+
+def _reachable_stmts(cfg) -> list[ast.stmt]:
+    return [stmt for block in cfg.reverse_postorder() for stmt in block.stmts]
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+class TestCfgShape:
+    def test_straight_line_single_block(self):
+        cfg = _cfg("""
+            def f():
+                a = 1
+                b = 2
+                return a + b
+        """)
+        order = cfg.reverse_postorder()
+        assert order[0].index == cfg.entry
+        assert len(_reachable_stmts(cfg)) == 3
+        # the return edges into exit
+        assert cfg.exit in [
+            s for block in order for s in block.succs
+        ]
+
+    def test_if_creates_diamond(self):
+        cfg = _cfg("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        head = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.If) for s in b.stmts)
+        )
+        assert len(head.succs) == 2
+
+    def test_while_loop_has_back_edge(self):
+        cfg = _cfg("""
+            def f(x):
+                while x:
+                    x -= 1
+                return x
+        """)
+        head = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.While) for s in b.stmts)
+        )
+        # some reachable block edges back to the loop head
+        assert any(head.index in b.succs for b in cfg.blocks if b is not head)
+
+    def test_raise_reaches_raise_exit_not_exit(self):
+        cfg = _cfg("""
+            def f(x):
+                if x < 0:
+                    raise ValueError(x)
+                return x
+        """)
+        raise_block = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.Raise) for s in b.stmts)
+        )
+        assert cfg.raise_exit in raise_block.succs
+        assert cfg.exit not in raise_block.succs
+
+    def test_try_body_boundaries_edge_to_handler(self):
+        cfg = _cfg("""
+            def f(x):
+                try:
+                    a = x.one()
+                    b = x.two()
+                except KeyError:
+                    b = 0
+                return b
+        """)
+        handler_stmts = [
+            s for s in _reachable_stmts(cfg)
+            if isinstance(s, ast.Assign)
+            and isinstance(s.value, ast.Constant)
+        ]
+        assert handler_stmts, "handler body must be reachable"
+
+    def test_break_exits_loop(self):
+        cfg = _cfg("""
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                return items
+        """)
+        # the Return must still be reachable
+        assert any(isinstance(s, ast.Return) for s in _reachable_stmts(cfg))
+
+    def test_statements_after_return_unreachable(self):
+        cfg = _cfg("""
+            def f():
+                return 1
+                x = 2
+        """)
+        assert not any(
+            isinstance(s, ast.Assign) for s in _reachable_stmts(cfg)
+        )
+
+    def test_head_expressions_for_compound_statements(self):
+        func = _func("""
+            def f(xs, y):
+                for x in xs:
+                    pass
+                while y:
+                    pass
+                if y:
+                    pass
+                with y as z:
+                    pass
+        """)
+        kinds = {}
+        for stmt in func.body:
+            heads = head_expressions(stmt)
+            kinds[type(stmt).__name__] = len(heads)
+        assert kinds == {"For": 1, "While": 1, "If": 1, "With": 1}
+        assert head_expressions(func.body[0])[0] is func.body[0].iter
+
+
+# ----------------------------------------------------------------------
+# The fixpoint engine
+# ----------------------------------------------------------------------
+class _ReachingConstants(FlowAnalysis[dict]):
+    """name -> constant value, TOP-dropping join (forward)."""
+
+    def initial(self) -> dict:
+        return {}
+
+    def join(self, a: dict, b: dict) -> dict:
+        return map_join(a, b)
+
+    def transfer(self, stmt: ast.stmt, state: dict) -> dict:
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.targets[0], ast.Name):
+            state = dict(state)
+            name = stmt.targets[0].id
+            if isinstance(stmt.value, ast.Constant):
+                state[name] = stmt.value.value
+            else:
+                state.pop(name, None)
+        return state
+
+
+class _Liveness(FlowAnalysis[frozenset]):
+    """Backward live-variable analysis over Name loads/stores."""
+
+    def initial(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, stmt: ast.stmt, state: frozenset) -> frozenset:
+        killed = set()
+        used = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name):
+                if isinstance(node.ctx, ast.Store):
+                    killed.add(node.id)
+                else:
+                    used.add(node.id)
+        return (state - killed) | used
+
+
+class TestEngine:
+    def test_constants_agree_across_branches(self):
+        cfg = _cfg("""
+            def f(cond):
+                if cond:
+                    x = 1
+                else:
+                    x = 1
+                return x
+        """)
+        solution = solve_forward(cfg, _ReachingConstants())
+        assert solution.block_in[cfg.exit] == {"x": 1}
+
+    def test_disagreeing_branches_drop_to_top(self):
+        cfg = _cfg("""
+            def f(cond):
+                if cond:
+                    x = 1
+                else:
+                    x = 2
+                return x
+        """)
+        solution = solve_forward(cfg, _ReachingConstants())
+        assert solution.block_in[cfg.exit] == {}
+
+    def test_loop_reaches_fixpoint(self):
+        cfg = _cfg("""
+            def f(n):
+                x = 0
+                while n:
+                    x = 1
+                return x
+        """)
+        solution = solve_forward(cfg, _ReachingConstants())
+        # 0 on the zero-trip path, 1 after an iteration: joins to TOP.
+        assert solution.block_in[cfg.exit] == {}
+
+    def test_backward_liveness(self):
+        cfg = _cfg("""
+            def f(a, b):
+                c = a + b
+                d = c + 1
+                return d
+        """)
+        solution = solve_backward(cfg, _Liveness())
+        # Backward states flow against execution order: block_out of the
+        # entry block is the state at the function's first instruction,
+        # where the parameters feeding the return are live.
+        assert {"a", "b"} <= solution.block_out[cfg.entry]
+
+    def test_states_through_replays_transfers(self):
+        cfg = _cfg("""
+            def f():
+                x = 1
+                y = 2
+                return x
+        """)
+        solution = solve_forward(cfg, _ReachingConstants())
+        pairs = [
+            (stmt, dict(state))
+            for block in cfg.reverse_postorder()
+            for stmt, state in solution.states_through(block)
+        ]
+        assign_states = [
+            state for stmt, state in pairs if isinstance(stmt, ast.Assign)
+        ]
+        assert assign_states[0] == {}
+        assert assign_states[1] == {"x": 1}
+
+    def test_divergence_guard(self):
+        class Diverging(FlowAnalysis[int]):
+            def initial(self) -> int:
+                return 0
+
+            def join(self, a: int, b: int) -> int:
+                return max(a, b)
+
+            def transfer(self, stmt: ast.stmt, state: int) -> int:
+                return state + 1  # not a finite-height lattice
+
+        cfg = _cfg("""
+            def f(n):
+                while n:
+                    n -= 1
+        """)
+        with pytest.raises(FixpointDivergence):
+            solve_forward(cfg, Diverging())
+        assert MAX_VISITS_PER_BLOCK >= 100
+
+
+class TestLattice:
+    def test_flat_join(self):
+        assert flat_join(1, 1) == 1
+        assert flat_join(1, 2) is TOP
+        assert flat_join(TOP, 1) is TOP
+
+    def test_map_join_intersects(self):
+        joined = map_join({"a": 1, "b": 2}, {"a": 1, "b": 3, "c": 4})
+        assert joined == {"a": 1}

@@ -1,0 +1,236 @@
+"""Tests for the page life-cycle typestate rules (R008/R009)."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths
+
+
+def _lint_snippet(tmp_path: Path, source: str, select=None):
+    (tmp_path / "mod.py").write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([tmp_path], select=select)
+
+
+# ----------------------------------------------------------------------
+# R008 — the page life-cycle protocol
+# ----------------------------------------------------------------------
+class TestR008:
+    def test_double_eviction_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def _make_room(self, victim):
+                    self.mm.evict_to_disk(victim)
+                    self.mm.evict_to_disk(victim)
+        """, select=["R008"])
+        assert len(findings) == 1
+        assert "evicts `victim` twice" in findings[0].message
+        assert findings[0].line == 7
+
+    def test_migrate_after_evict_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def _demote(self, victim):
+                    self.mm.evict_to_disk(victim)
+                    self.mm.migrate(victim, DEST)
+        """, select=["R008"])
+        assert len(findings) == 1
+        assert "migrates `victim` after it was evicted" in findings[0].message
+
+    def test_serve_hit_after_evict_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+                    self.mm.evict_to_disk(page)
+                    self.mm.serve_hit(page, is_write)
+        """, select=["R008"])
+        assert len(findings) == 1
+        assert "serves a hit on `page`" in findings[0].message
+
+    def test_fault_fill_while_resident_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+                    self.mm.serve_hit(page, is_write)
+                    self.mm.fault_fill(page, DEST, is_write)
+        """, select=["R008"])
+        assert len(findings) == 1
+        assert "fault-fills `page` while it is already resident" \
+            in findings[0].message
+
+    def test_swap_after_evicting_operand_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def _promote(self, page, victim):
+                    self.mm.evict_to_disk(victim)
+                    self.mm.swap(page, victim)
+        """, select=["R008"])
+        assert len(findings) == 1
+        assert "swaps `victim`" in findings[0].message
+
+    def test_evict_then_fault_fill_is_legal(self, tmp_path):
+        # The canonical make-room-then-fill sequence must stay clean.
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+                    self.mm.evict_to_disk(victim)
+                    self.mm.fault_fill(page, DEST, is_write)
+        """, select=["R008"])
+        assert findings == []
+
+    def test_attribute_chains_are_tracked(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def _drop(self):
+                    victim = self.lru.pop()
+                    self.mm.evict_to_disk(victim.page)
+                    self.mm.create_copy(victim.page)
+        """, select=["R008"])
+        assert len(findings) == 1
+        assert "`victim.page`" in findings[0].message
+
+    def test_branch_merge_is_not_definite(self, tmp_path):
+        # Evicted on only one path: "maybe absent" is never reported.
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def _maybe(self, victim, cond):
+                    if cond:
+                        self.mm.evict_to_disk(victim)
+                    self.mm.migrate(victim, DEST)
+        """, select=["R008"])
+        assert findings == []
+
+    def test_reassignment_invalidates_tracking(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def _churn(self):
+                    victim = self.lru.pop()
+                    self.mm.evict_to_disk(victim)
+                    victim = self.lru.pop()
+                    self.mm.evict_to_disk(victim)
+        """, select=["R008"])
+        assert findings == []
+
+    def test_helper_call_invalidates_tracking(self, tmp_path):
+        # Passing the page to a helper may change its state.
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def _churn(self, victim):
+                    self.mm.evict_to_disk(victim)
+                    self._refill(victim)
+                    self.mm.serve_hit(victim, False)
+        """, select=["R008"])
+        assert findings == []
+
+    def test_non_policy_class_exempt(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class Recorder:
+                def replay(self, victim):
+                    self.mm.evict_to_disk(victim)
+                    self.mm.evict_to_disk(victim)
+        """, select=["R008"])
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def _make_room(self, victim):
+                    self.mm.evict_to_disk(victim)
+                    self.mm.evict_to_disk(victim)  # noqa: R008
+        """, select=["R008"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R009 — record_request before memory traffic
+# ----------------------------------------------------------------------
+class TestR009:
+    def test_traffic_before_recording_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def access(self, page, is_write):
+                    self.mm.serve_hit(page, is_write)
+                    self.mm.record_request(is_write)
+        """, select=["R009"])
+        assert len(findings) == 1
+        assert "before mm.record_request" in findings[0].message
+
+    def test_recording_first_clean(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+                    self.mm.serve_hit(page, is_write)
+        """, select=["R009"])
+        assert findings == []
+
+    def test_helper_may_have_recorded(self, tmp_path):
+        # A self-call degrades to "maybe recorded": no definite violation.
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def access(self, page, is_write):
+                    self._count(is_write)
+                    self.mm.serve_hit(page, is_write)
+        """, select=["R009"])
+        assert findings == []
+
+    def test_partial_path_is_not_definite(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def access(self, page, is_write):
+                    if is_write:
+                        self.mm.record_request(is_write)
+                    self.mm.serve_hit(page, is_write)
+        """, select=["R009"])
+        assert findings == []  # R010's job, not R009's
+
+    def test_only_access_is_checked(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class P(HybridMemoryPolicy):
+                name = "p"
+
+                def _fill(self, page, is_write):
+                    self.mm.fault_fill(page, DEST, is_write)
+        """, select=["R009"])
+        assert findings == []
+
+
+def test_repo_tree_is_typestate_clean():
+    src_root = Path(repro.__file__).parent
+    findings = lint_paths([src_root], select=["R008", "R009"])
+    assert findings == [], "\n".join(f.render() for f in findings)

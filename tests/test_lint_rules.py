@@ -1,4 +1,4 @@
-"""Tests for the custom lint pass (repro.analysis rules R001-R005)."""
+"""Tests for the custom lint pass (repro.analysis rules R002-R010)."""
 
 from __future__ import annotations
 
@@ -33,7 +33,7 @@ def _access_counts(source: str) -> set[int]:
 
 
 # ----------------------------------------------------------------------
-# R001 — the record_request path analysis
+# R010 — the record_request path analysis (fixpoint engine)
 # ----------------------------------------------------------------------
 class TestPathAnalysis:
     def test_straight_line_once(self):
@@ -112,6 +112,26 @@ class TestPathAnalysis:
         """)
         assert counts == {0, 1}
 
+    def test_thirty_branch_policy_is_tractable(self):
+        # The PR 1 path enumerator walked every path combination; the
+        # fixpoint engine must settle in one worklist pass regardless
+        # of branch count.
+        lines = ["def access(self, page, is_write):",
+                 "    self.mm.record_request(is_write)"]
+        for i in range(30):
+            lines.append(f"    if page % {i + 2}:")
+            lines.append("        self.mm.serve_hit(page, is_write)")
+        assert _access_counts("\n".join(lines)) == {1}
+
+    def test_thirty_branch_skip_detected(self):
+        lines = ["def access(self, page, is_write):"]
+        for i in range(30):
+            lines.append(f"    if page % {i + 2}:")
+            lines.append("        self.mm.serve_hit(page, is_write)")
+        lines.append("    if is_write:")
+        lines.append("        self.mm.record_request(is_write)")
+        assert _access_counts("\n".join(lines)) == {0, 1}
+
     def test_nested_function_does_not_count(self):
         assert _access_counts("""
             def access(self, page, is_write):
@@ -121,7 +141,7 @@ class TestPathAnalysis:
         """) == {1}
 
 
-class TestR001:
+class TestR010:
     def test_clean_policy_passes(self, tmp_path):
         findings = _lint_snippet(tmp_path, """
             class GoodPolicy(HybridMemoryPolicy):
@@ -131,7 +151,7 @@ class TestR001:
                     self.mm.record_request(is_write)
                     if self.mm.is_resident(page):
                         self.mm.serve_hit(page, is_write)
-        """, select=["R001"])
+        """, select=["R010"])
         assert findings == []
 
     def test_missing_call_flagged(self, tmp_path):
@@ -141,9 +161,9 @@ class TestR001:
 
                 def access(self, page, is_write):
                     self.mm.serve_hit(page, is_write)
-        """, select=["R001"])
+        """, select=["R010"])
         assert len(findings) == 1
-        assert findings[0].rule_id == "R001"
+        assert findings[0].rule_id == "R010"
         assert "never calls" in findings[0].message
 
     def test_conditional_skip_flagged(self, tmp_path):
@@ -155,7 +175,7 @@ class TestR001:
                     if is_write:
                         self.mm.record_request(is_write)
                     self.mm.serve_hit(page, is_write)
-        """, select=["R001"])
+        """, select=["R010"])
         assert len(findings) == 1
         assert "skips" in findings[0].message
 
@@ -167,7 +187,7 @@ class TestR001:
                 def access(self, page, is_write):
                     self.mm.record_request(is_write)
                     self.mm.record_request(is_write)
-        """, select=["R001"])
+        """, select=["R010"])
         assert len(findings) == 1
         assert "more than once" in findings[0].message
 
@@ -179,7 +199,7 @@ class TestR001:
                 @abc.abstractmethod
                 def access(self, page, is_write):
                     ...
-        """, select=["R001"])
+        """, select=["R010"])
         assert findings == []
 
     def test_non_policy_class_exempt(self, tmp_path):
@@ -187,7 +207,7 @@ class TestR001:
             class Replayer:
                 def access(self, page, is_write):
                     self.log.append(page)
-        """, select=["R001"])
+        """, select=["R010"])
         assert findings == []
 
     def test_transitive_subclass_checked(self, tmp_path):
@@ -203,7 +223,7 @@ class TestR001:
 
                 def access(self, page, is_write):
                     self.mm.serve_hit(page, is_write)
-        """, select=["R001"])
+        """, select=["R010"])
         assert [f.message.split(".")[0] for f in findings] == ["Leaf"]
 
     def test_noqa_suppresses(self, tmp_path):
@@ -211,10 +231,31 @@ class TestR001:
             class WaivedPolicy(HybridMemoryPolicy):
                 name = "waived"
 
+                def access(self, page, is_write):  # noqa: R010
+                    self.mm.serve_hit(page, is_write)
+        """, select=["R010"])
+        assert findings == []
+
+    def test_noqa_r001_alias_still_suppresses(self, tmp_path):
+        # R010 supersedes R001; historical suppressions keep working.
+        findings = _lint_snippet(tmp_path, """
+            class WaivedPolicy(HybridMemoryPolicy):
+                name = "waived"
+
                 def access(self, page, is_write):  # noqa: R001
                     self.mm.serve_hit(page, is_write)
-        """, select=["R001"])
+        """, select=["R010"])
         assert findings == []
+
+    def test_select_r001_alias_selects_r010(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class BadPolicy(HybridMemoryPolicy):
+                name = "bad"
+
+                def access(self, page, is_write):
+                    self.mm.serve_hit(page, is_write)
+        """, select=["R001"])
+        assert [f.rule_id for f in findings] == ["R010"]
 
 
 # ----------------------------------------------------------------------
@@ -392,7 +433,7 @@ class TestLintCli:
                     self.mm.serve_hit(page, is_write)
         """), encoding="utf-8")
         assert main(["lint", str(tmp_path)]) == 1
-        assert "R001" in capsys.readouterr().out
+        assert "R010" in capsys.readouterr().out
 
     def test_select_restricts_rules(self, tmp_path, capsys):
         (tmp_path / "bad.py").write_text(
