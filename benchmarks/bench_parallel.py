@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Serial vs parallel wall-clock on the fig-4 grid -> BENCH_parallel.json.
+
+Runs the figure-4 workload x policy grid (12 PARSEC workloads x the
+four core policies) twice through the executor — once with one worker,
+once with ``--jobs N`` — with the persistent cache disabled so both
+passes really simulate, and reports the wall-clock ratio.
+
+The grid is embarrassingly parallel (48 independent simulations), so
+on an M-core machine the expected speedup approaches min(N, M).  The
+emitted JSON records the machine's core count so results from
+single-core runners are interpretable.
+
+Run:  python benchmarks/bench_parallel.py [--fast] [--jobs N]
+                                          [--output BENCH_parallel.json]
+"""
+
+import argparse
+import json
+import os
+import time
+
+from repro.experiments.executor import ParallelExecutor
+from repro.experiments.runner import CORE_POLICIES
+from repro.experiments.runspec import RunSpec
+from repro.workloads.parsec import WORKLOAD_NAMES
+
+#: Reduced rendering scale for --fast (CI smoke runs).
+FAST_SCALE = dict(request_scale=1 / 2000, footprint_scale=1 / 128)
+
+
+def grid_specs(fast: bool) -> list[RunSpec]:
+    scale = FAST_SCALE if fast else {}
+    return [
+        RunSpec.core(workload, policy, **scale)
+        for workload in WORKLOAD_NAMES
+        for policy in CORE_POLICIES
+    ]
+
+
+def timed_submit(specs: list[RunSpec], jobs: int) -> tuple[float, dict]:
+    executor = ParallelExecutor(jobs=jobs, cache=None)
+    started = time.perf_counter()
+    executor.submit(specs)
+    elapsed = time.perf_counter() - started
+    return elapsed, executor.stats.as_dict()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced trace scale (CI smoke run)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel worker count (default: all CPUs)")
+    parser.add_argument("--output", default="BENCH_parallel.json",
+                        help="result file (default: BENCH_parallel.json)")
+    args = parser.parse_args()
+
+    cpus = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs is not None else cpus
+    specs = grid_specs(args.fast)
+    print(f"fig-4 grid: {len(specs)} runs "
+          f"({len(WORKLOAD_NAMES)} workloads x {len(CORE_POLICIES)} "
+          f"policies), {cpus} CPU(s)")
+
+    serial_s, serial_stats = timed_submit(specs, jobs=1)
+    print(f"serial (1 worker):     {serial_s:8.2f}s")
+    parallel_s, parallel_stats = timed_submit(specs, jobs=jobs)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"parallel ({jobs} worker(s)): {parallel_s:8.2f}s   "
+          f"speedup {speedup:.2f}x")
+
+    payload = {
+        "benchmark": "parallel-executor-fig4-grid",
+        "fast": args.fast,
+        "cpu_count": cpus,
+        "jobs": jobs,
+        "grid_size": len(specs),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "serial_stats": serial_stats,
+        "parallel_stats": parallel_stats,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,9 +15,8 @@ Run:  python examples/endurance_study.py
 import numpy as np
 
 from repro.experiments.report import render_table
+from repro.experiments.runspec import RunSpec
 from repro.memory.wear_leveling import replay_writes
-from repro.mmu import simulate
-from repro.policies import policy_factory
 from repro.workloads import parsec_workload
 
 
@@ -28,14 +27,9 @@ def main() -> None:
 
     rows = []
     for policy_name in ("nvm-only", "clock-dwf", "proposed"):
-        spec = workload.spec
-        if policy_name == "nvm-only":
-            spec = spec.as_nvm_only()
-        result = simulate(
-            workload.trace, spec, policy_factory(policy_name),
-            inter_request_gap=workload.inter_request_gap,
-            warmup_fraction=workload.warmup_fraction,
-        )
+        # RunSpec.core maps "nvm-only" to the paper's same-capacity
+        # single-module normalisation; the rendered workload is shared.
+        result = RunSpec.core("vips", policy_name).execute(instance=workload)
         # expand the per-page histogram into a logical write stream
         # (page identity -> logical frame by order of first wear)
         page_ids = {page: index for index, page

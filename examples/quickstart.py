@@ -9,8 +9,9 @@ DRAM-only baseline using the paper's AMAT and APPR models.
 Run:  python examples/quickstart.py
 """
 
-from repro import parsec_workload, policy_factory, simulate
+from repro import parsec_workload
 from repro.experiments.report import render_table
+from repro.experiments.runspec import RunSpec
 
 
 def main() -> None:
@@ -26,16 +27,10 @@ def main() -> None:
 
     rows = []
     for policy_name in ("dram-only", "clock-dwf", "proposed"):
-        spec = workload.spec
-        if policy_name == "dram-only":
-            spec = spec.as_dram_only()
-        result = simulate(
-            workload.trace,
-            spec,
-            policy_factory(policy_name),
-            inter_request_gap=workload.inter_request_gap,
-            warmup_fraction=workload.warmup_fraction,
-        )
+        # RunSpec.core derives the single-module normalisation from the
+        # policy name; the rendered workload is reused across specs.
+        spec = RunSpec.core("dedup", policy_name)
+        result = spec.execute(instance=workload)
         rows.append((
             policy_name,
             f"{result.performance.memory_time * 1e9:.1f}",

@@ -2,15 +2,27 @@
 """Regenerate the paper's full evaluation section in one run.
 
 Prints Tables II-IV and Figures 1, 2a-c and 4a-c as ASCII tables and
-stacked bars.  This is the same machinery the benchmark harness uses;
-expect roughly half a minute for the 12-workload x 4-policy grid.
+stacked bars.  This is the same machinery the benchmark harness uses.
 
-Run:  python examples/reproduce_paper.py [--fast]
+The 12-workload x 4-policy grid fans out over a multiprocessing pool
+(``--jobs``, default: all CPUs) and persists every run in the
+content-addressed result cache, so a second invocation replays the
+whole evaluation without simulating anything — the executor statistics
+printed at the end show exactly how many runs were simulated versus
+served from cache.
+
+Run:  python examples/reproduce_paper.py [--fast] [--jobs N]
+                                         [--no-cache] [--cache-dir DIR]
 """
 
 import argparse
 import time
 
+from repro.experiments.executor import (
+    DEFAULT_CACHE_DIR,
+    ParallelExecutor,
+    ResultCache,
+)
 from repro.experiments.figures import FIGURE_BUILDERS
 from repro.experiments.report import render_figure, render_table
 from repro.experiments.runner import ExperimentRunner
@@ -21,15 +33,26 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true",
                         help="reduced trace scale (quick look)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all CPUs)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="disable the persistent result cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help=f"result cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
     args = parser.parse_args()
 
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    executor = ParallelExecutor(jobs=args.jobs, cache=cache)
     if args.fast:
         runner = ExperimentRunner(request_scale=1 / 2000,
-                                  footprint_scale=1 / 128)
+                                  footprint_scale=1 / 128,
+                                  executor=executor)
         table_kwargs = dict(request_scale=1 / 2000,
                             footprint_scale=1 / 128)
     else:
-        runner = ExperimentRunner()
+        runner = ExperimentRunner(executor=executor)
         table_kwargs = {}
 
     started = time.perf_counter()
@@ -62,14 +85,21 @@ def main() -> None:
         title="Table III: workload characterisation (paper vs synthetic)",
     ))
 
+    # Warm the whole grid in one batched submission so the runs fan out
+    # across the worker pool before the figure builders walk them.
+    runner.grid()
+
     for figure_id in ("fig1", "fig2a", "fig2b", "fig2c",
                       "fig4a", "fig4b", "fig4c"):
         print()
         print(render_figure(FIGURE_BUILDERS[figure_id](runner)))
 
     elapsed = time.perf_counter() - started
+    stats = executor.stats
     print()
-    print(f"done in {elapsed:.1f}s")
+    print(f"done in {elapsed:.1f}s with {executor.jobs} worker(s): "
+          f"{stats.simulated} simulated, {stats.cache_hits} cache hits, "
+          f"{stats.cache_misses} cache misses")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,7 @@ deterministic.  This package machine-checks those contracts:
 
 * :mod:`repro.analysis.lint` — a project-specific AST lint pass
   (``python -m repro lint``) enforcing the bookkeeping and determinism
-  rules R002-R010 (see :mod:`repro.analysis.rules`).  Rules R006-R010
+  rules R002-R011 (see :mod:`repro.analysis.rules`).  Rules R006-R010
   are flow-sensitive dataflow analyses — units-of-measure inference,
   page life-cycle typestate and the accounting contract — built on the
   CFG/fixpoint framework of :mod:`repro.analysis.flow`.

@@ -15,11 +15,12 @@ _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
 
 #: Per-directory rule profiles: rules listed here are not applied to
 #: files under a directory of that name.  Tests exercise clocks and ad
-#: hoc RNGs on purpose and define throwaway policy classes that have no
-#: business in the registry or the device-constant vocabulary; examples
+#: hoc RNGs on purpose, define throwaway policy classes that have no
+#: business in the registry or the device-constant vocabulary, and
+#: probe simulator internals directly (R011 exempts them); examples
 #: define demonstration policies without registering them.
 PROFILES: dict[str, frozenset[str]] = {
-    "tests": frozenset({"R002", "R004", "R005"}),
+    "tests": frozenset({"R002", "R004", "R005", "R011"}),
     "examples": frozenset({"R004"}),
 }
 

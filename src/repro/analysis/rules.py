@@ -1,4 +1,4 @@
-"""The project-specific lint rules (R002-R010).
+"""The project-specific lint rules (R002-R011).
 
 Each rule checks one contract the reproduction's correctness rests on:
 
@@ -31,6 +31,11 @@ Each rule checks one contract the reproduction's correctness rests on:
     engine of :mod:`repro.analysis.flow` instead of by abstract path
     enumeration — and answers to ``R001`` as an alias in ``--select``
     and ``# noqa`` comments.
+``R011``
+    ``HybridMemorySimulator`` is constructed only inside
+    ``repro.experiments``/``repro.mmu``; everything else runs through
+    ``RunSpec.execute()`` / the parallel executor so all evaluation
+    paths share one simulation recipe and the result cache.
 
 R006-R010 are dataflow analyses living in :mod:`repro.analysis.flow`;
 this module hosts the single-pass syntactic rules and assembles
@@ -57,6 +62,7 @@ __all__ = [
     "MutableDefaultRule",
     "RegistryRule",
     "MagicNumberRule",
+    "SimulatorConstructionRule",
     "AccountingRule",
     "ProtocolRule",
     "RecordedFirstRule",
@@ -329,12 +335,59 @@ class MagicNumberRule(LintRule):
         )
 
 
+# ----------------------------------------------------------------------
+# R011 — all evaluation paths share the RunSpec simulation recipe
+# ----------------------------------------------------------------------
+class SimulatorConstructionRule(LintRule):
+    """R011: no direct simulator construction outside the engine.
+
+    ``HybridMemorySimulator`` may only be instantiated inside
+    ``repro.experiments`` (the :class:`RunSpec`/executor engine) and
+    ``repro.mmu`` (where it lives).  Everything else goes through
+    ``RunSpec.execute()`` / ``ParallelExecutor.submit()`` /
+    ``repro.mmu.simulate`` so every evaluation shares one simulation
+    recipe — warm-up handling, sanitizer wiring, gap proration — and
+    every run is cacheable by spec digest.
+    """
+
+    rule_id = "R011"
+    title = "simulations go through RunSpec.execute / the executor"
+
+    target = "HybridMemorySimulator"
+    #: Directories allowed to construct the simulator directly.
+    allowed_dirs = ("experiments", "mmu")
+
+    def check(self, src: SourceFile,
+              project: ProjectContext) -> Iterator[Finding]:
+        if any(part in src.path.parts for part in self.allowed_dirs):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = None
+            if isinstance(callee, ast.Name):
+                name = callee.id
+            elif isinstance(callee, ast.Attribute):
+                name = callee.attr
+            if name != self.target:
+                continue
+            yield self.finding(
+                src, node,
+                f"direct `{self.target}(...)` construction outside "
+                "repro.experiments/repro.mmu; use `RunSpec.execute()`, "
+                "`ParallelExecutor.submit()` or `repro.mmu.simulate` so "
+                "the run shares the engine's recipe and result cache",
+            )
+
+
 #: The rules ``repro lint`` runs by default, in report order.
 DEFAULT_RULES: tuple = (
     DeterminismRule(),
     MutableDefaultRule(),
     RegistryRule(),
     MagicNumberRule(),
+    SimulatorConstructionRule(),
     UnitsMismatchRule(),
     UnitsSinkRule(),
     ProtocolRule(),

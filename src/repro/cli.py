@@ -11,6 +11,10 @@ Commands
 ``simulate``
     Run one policy over a workload (or trace file) and print the
     paper's metrics.
+``run``
+    Execute a (workload x policy) grid of declarative run specs
+    through the parallel executor (``--jobs N``) with the persistent
+    result cache, and print one summary row per run.
 ``figure ID``
     Regenerate one paper figure (fig1, fig2a..fig4c) as ASCII bars.
 ``tables``
@@ -18,7 +22,7 @@ Commands
 ``sweep``
     Run a threshold / window / DRAM-ratio sweep.
 ``lint``
-    Run the project-specific static-analysis rules (R002-R010,
+    Run the project-specific static-analysis rules (R002-R011,
     including the dataflow-based units and typestate checks) over
     source paths; exits nonzero on findings.
 """
@@ -31,9 +35,15 @@ from typing import Sequence
 
 from repro.analysis.cli import list_rules, run_lint
 from repro.experiments.claims import claims_hold, verify_claims
+from repro.experiments.executor import (
+    DEFAULT_CACHE_DIR,
+    ParallelExecutor,
+    ResultCache,
+)
 from repro.experiments.figures import FIGURE_BUILDERS
 from repro.experiments.report import render_figure, render_table
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import CORE_POLICIES, ExperimentRunner
+from repro.experiments.runspec import RunSpec
 from repro.experiments.sweep import dram_ratio_sweep, threshold_sweep, window_sweep
 from repro.experiments.tables import table_ii, table_iii, table_iv
 from repro.memory.specs import HybridMemorySpec
@@ -150,8 +160,55 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _executor_from(args) -> ParallelExecutor:
+    """Build the executor the grid commands share (--jobs/--cache)."""
+    cache = None
+    if getattr(args, "cache", True):
+        cache = ResultCache(getattr(args, "cache_dir", DEFAULT_CACHE_DIR))
+    progress = None
+    if getattr(args, "progress", False):
+        def progress(done: int, total: int, spec) -> None:
+            print(f"  [{done}/{total}] {spec.label()}", file=sys.stderr)
+    return ParallelExecutor(jobs=args.jobs, cache=cache, progress=progress)
+
+
+def _cmd_run(args) -> int:
+    executor = _executor_from(args)
+    workloads = args.workload or list(WORKLOAD_NAMES)
+    policies = args.policy or list(CORE_POLICIES)
+    specs = [
+        RunSpec.core(workload, policy, seed=args.seed)
+        for workload in workloads
+        for policy in policies
+    ]
+    results = executor.submit(specs)
+    rows = []
+    for spec, result in zip(specs, results):
+        summary = result.summary()
+        rows.append((
+            spec.workload,
+            spec.policy,
+            f"{summary['hit_ratio']:.4f}",
+            f"{summary['amat_ns']:.1f}",
+            f"{summary['appr_nj']:.2f}",
+            f"{int(summary['nvm_writes']):,}",
+            f"{int(summary['migrations_to_dram']):,}",
+            f"{int(summary['migrations_to_nvm']):,}",
+        ))
+    print(render_table(
+        ["workload", "policy", "hit ratio", "AMAT (ns)", "APPR (nJ)",
+         "NVM writes", "promotions", "demotions"],
+        rows,
+        title=f"{len(specs)} runs, {executor.jobs} worker(s)",
+    ))
+    stats = executor.stats
+    print(f"\nsimulated {stats.simulated}, cache hits {stats.cache_hits}, "
+          f"cache misses {stats.cache_misses}")
+    return 0
+
+
 def _cmd_figure(args) -> int:
-    runner = ExperimentRunner(seed=args.seed)
+    runner = ExperimentRunner(seed=args.seed, executor=_executor_from(args))
     if args.id == "all":
         ids: Sequence[str] = sorted(FIGURE_BUILDERS)
     elif args.id in FIGURE_BUILDERS:
@@ -195,7 +252,7 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_claims(args) -> int:
-    runner = ExperimentRunner(seed=args.seed)
+    runner = ExperimentRunner(seed=args.seed, executor=_executor_from(args))
     results = verify_claims(runner)
     print(render_table(
         ["id", "ok", "claim", "paper", "measured"],
@@ -218,12 +275,13 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    executor = _executor_from(args)
     if args.kind == "threshold":
-        points = threshold_sweep(args.workload)
+        points = threshold_sweep(args.workload, executor=executor)
     elif args.kind == "window":
-        points = window_sweep(args.workload)
+        points = window_sweep(args.workload, executor=executor)
     else:
-        points = dram_ratio_sweep(args.workload)
+        points = dram_ratio_sweep(args.workload, executor=executor)
     print(render_table(
         [points[0].parameter, "memory time (ns)", "APPR (nJ)",
          "promotions", "demotions", "NVM writes"],
@@ -270,9 +328,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="assert simulation invariants after every request")
     p.set_defaults(func=_cmd_simulate)
 
+    def add_executor_args(parser, cache_default: bool) -> None:
+        parser.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes (default: all CPUs)")
+        parser.add_argument(
+            "--cache", dest="cache", action="store_true",
+            default=cache_default,
+            help="persist results under the cache directory"
+                 + (" (default)" if cache_default else ""))
+        parser.add_argument(
+            "--no-cache", dest="cache", action="store_false",
+            help="disable the persistent result cache")
+        parser.add_argument(
+            "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+            help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
+        parser.add_argument(
+            "--progress", action="store_true",
+            help="print per-run progress to stderr")
+
+    p = sub.add_parser(
+        "run",
+        help="execute a workload x policy grid through the parallel "
+             "executor")
+    p.add_argument("--workload", action="append",
+                   choices=list(WORKLOAD_NAMES), metavar="NAME",
+                   help="workload(s) to run (repeatable; default: all 12)")
+    p.add_argument("--policy", action="append", metavar="NAME",
+                   help="policy(ies) to run (repeatable; default: the "
+                        "four core policies)")
+    p.add_argument("--seed", type=int, default=2016)
+    add_executor_args(p, cache_default=True)
+    p.set_defaults(func=_cmd_run)
+
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("id", help="fig1, fig2a..fig4c, or 'all'")
     p.add_argument("--seed", type=int, default=2016)
+    add_executor_args(p, cache_default=False)
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("tables", help="regenerate Tables II-IV")
@@ -283,17 +375,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="audit every paper claim against the "
                             "regenerated figures")
     p.add_argument("--seed", type=int, default=2016)
+    add_executor_args(p, cache_default=False)
     p.set_defaults(func=_cmd_claims)
 
     p = sub.add_parser("sweep", help="parameter sweep")
     p.add_argument("kind", choices=("threshold", "window", "dram-ratio"))
     p.add_argument("--workload", default="raytrace",
                    choices=list(WORKLOAD_NAMES))
+    add_executor_args(p, cache_default=False)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "lint",
-        help="run the project lint rules (R002-R010) over source paths",
+        help="run the project lint rules (R002-R011) over source paths",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")

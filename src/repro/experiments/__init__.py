@@ -12,6 +12,17 @@ from repro.experiments.figures import (
     figure_4c,
 )
 from repro.experiments.claims import ClaimResult, claims_hold, verify_claims
+from repro.experiments.executor import (
+    DEFAULT_CACHE_DIR,
+    ExecutorError,
+    ExecutorStats,
+    ParallelExecutor,
+    ResultCache,
+    WorkerFailure,
+    code_version,
+    execute_specs,
+)
+from repro.experiments.runspec import SPEC_TRANSFORMS, RunSpec
 from repro.experiments.export import (
     figure_to_rows,
     load_figure_json,
@@ -47,7 +58,17 @@ from repro.experiments.tables import TableIIIRow, table_ii, table_iii, table_iv
 __all__ = [
     "ARITH_MEAN_LABEL",
     "ClaimResult",
+    "DEFAULT_CACHE_DIR",
+    "ExecutorError",
+    "ExecutorStats",
+    "ParallelExecutor",
+    "ResultCache",
+    "RunSpec",
+    "SPEC_TRANSFORMS",
+    "WorkerFailure",
     "claims_hold",
+    "code_version",
+    "execute_specs",
     "verify_claims",
     "AdaptiveComparison",
     "CORE_POLICIES",

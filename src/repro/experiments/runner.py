@@ -1,15 +1,24 @@
-"""Experiment runner: policy x workload grids with caching.
+"""Experiment runner: policy x workload grids over the executor.
 
 The figure builders all need the same underlying runs (the proposed
 scheme, CLOCK-DWF and the two homogeneous baselines over the twelve
-PARSEC workloads), so the runner renders each workload once and caches
-every simulation result.
+PARSEC workloads).  The runner translates ``(workload, policy)`` cells
+into declarative :class:`~repro.experiments.runspec.RunSpec` batches,
+submits them through a :class:`~repro.experiments.executor.
+ParallelExecutor` (parallel with ``jobs > 1``, optionally backed by the
+persistent disk cache), and memoises the merged results in-process so
+every figure derives from the same run objects.
+
+``ExperimentRunner.run(workload, policy)`` keeps its historical
+signature as a thin shim over ``submit``.
 """
 
 from __future__ import annotations
 
-from repro.mmu.simulator import HybridMemorySimulator, RunResult
-from repro.policies.registry import policy_factory
+from repro.experiments.executor import ParallelExecutor, ResultCache
+from repro.experiments.results import WorkloadRuns
+from repro.experiments.runspec import RunSpec
+from repro.mmu.simulator import RunResult
 from repro.workloads.parsec import (
     DEFAULT_FOOTPRINT_SCALE,
     DEFAULT_REQUEST_SCALE,
@@ -17,14 +26,27 @@ from repro.workloads.parsec import (
     WorkloadInstance,
     parsec_workload,
 )
-from repro.experiments.results import WorkloadRuns
 
 #: The four runs every paper figure draws on.
 CORE_POLICIES = ("dram-only", "nvm-only", "clock-dwf", "proposed")
 
 
 class ExperimentRunner:
-    """Runs and caches (workload, policy) simulations at one scale."""
+    """Runs and caches (workload, policy) simulations at one scale.
+
+    Parameters
+    ----------
+    request_scale / footprint_scale / seed / workloads:
+        Rendering knobs shared by every spec the runner builds.
+    jobs:
+        Worker processes for batch submissions (``grid``/``runs_for``);
+        ``1`` (the default) executes serially in-process.
+    cache:
+        A :class:`ResultCache` for cross-process persistence, or
+        ``None`` (in-memory memoisation only).
+    executor:
+        A fully-configured executor; overrides ``jobs``/``cache``.
+    """
 
     def __init__(
         self,
@@ -32,13 +54,17 @@ class ExperimentRunner:
         footprint_scale: float = DEFAULT_FOOTPRINT_SCALE,
         seed: int = 2016,
         workloads: tuple[str, ...] = WORKLOAD_NAMES,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        executor: ParallelExecutor | None = None,
     ) -> None:
         self.request_scale = request_scale
         self.footprint_scale = footprint_scale
         self.seed = seed
         self.workload_names = workloads
+        self.executor = executor or ParallelExecutor(jobs=jobs, cache=cache)
         self._instances: dict[str, WorkloadInstance] = {}
-        self._runs: dict[tuple[str, str], RunResult] = {}
+        self._runs: dict[RunSpec, RunResult] = {}
 
     # ------------------------------------------------------------------
     def workload(self, name: str) -> WorkloadInstance:
@@ -52,48 +78,65 @@ class ExperimentRunner:
             )
         return self._instances[name]
 
-    def run(self, workload_name: str, policy_name: str) -> RunResult:
-        """Simulate one policy on one workload (cached).
+    def spec_for(self, workload_name: str, policy_name: str) -> RunSpec:
+        """The declarative spec for one grid cell.
 
         The homogeneous baselines run on the same *total* capacity with
         all frames moved to one module, exactly as the paper's
-        normalisations require.
+        normalisations require (``RunSpec.core`` derives that transform
+        from the policy name).
         """
-        key = (workload_name, policy_name)
-        if key not in self._runs:
-            instance = self.workload(workload_name)
-            spec = instance.spec
-            if policy_name.startswith("dram-only"):
-                spec = spec.as_dram_only()
-            elif policy_name.startswith("nvm-only"):
-                spec = spec.as_nvm_only()
-            simulator = HybridMemorySimulator(
-                spec,
-                policy_factory(policy_name),
-                inter_request_gap=instance.inter_request_gap,
-            )
-            self._runs[key] = simulator.run(
-                instance.trace, warmup_fraction=instance.warmup_fraction
-            )
-        return self._runs[key]
+        return RunSpec.core(
+            workload_name,
+            policy_name,
+            request_scale=self.request_scale,
+            footprint_scale=self.footprint_scale,
+            seed=self.seed,
+        )
+
+    def submit(self, specs: list[RunSpec]) -> list[RunResult]:
+        """Execute a spec batch through the executor, memoised.
+
+        Already-seen specs return the identical in-memory object;
+        everything else goes to the executor in one submission (and so
+        runs in parallel when the executor has workers).
+        """
+        missing = [spec for spec in dict.fromkeys(specs)
+                   if spec not in self._runs]
+        if missing:
+            for spec, result in zip(missing, self.executor.submit(missing)):
+                self._runs[spec] = result
+        return [self._runs[spec] for spec in specs]
+
+    def run(self, workload_name: str, policy_name: str) -> RunResult:
+        """Simulate one policy on one workload (cached).
+
+        Deprecation shim: the historical cell-at-a-time entry point,
+        now a one-spec ``submit``.  Grid consumers should batch through
+        :meth:`grid`/:meth:`runs_for` so cells run concurrently.
+        """
+        return self.submit([self.spec_for(workload_name, policy_name)])[0]
 
     def runs_for(self, workload_name: str,
                  policies: tuple[str, ...] = CORE_POLICIES) -> WorkloadRuns:
         """All requested policy runs for one workload."""
+        specs = [self.spec_for(workload_name, policy)
+                 for policy in policies]
+        results = self.submit(specs)
         return WorkloadRuns(
             workload=workload_name,
-            runs={policy: self.run(workload_name, policy)
-                  for policy in policies},
+            runs=dict(zip(policies, results)),
         )
 
     def grid(self, policies: tuple[str, ...] = CORE_POLICIES,
              workloads: tuple[str, ...] | None = None,
              ) -> dict[str, WorkloadRuns]:
-        """The full policy x workload grid (cached per cell)."""
-        return {
-            name: self.runs_for(name, policies)
-            for name in (workloads or self.workload_names)
-        }
+        """The full policy x workload grid (one batched submission)."""
+        names = tuple(workloads or self.workload_names)
+        specs = [self.spec_for(name, policy)
+                 for name in names for policy in policies]
+        self.submit(specs)  # one batch: cells fan out together
+        return {name: self.runs_for(name, policies) for name in names}
 
 
 #: Process-wide default runner so benchmarks share one cache.

@@ -1,0 +1,253 @@
+"""Declarative run specifications: the executor's unit of work.
+
+A :class:`RunSpec` names everything that determines one simulation —
+the workload (plus its scales and seed), the policy (plus structured
+overrides), an optional declarative machine-spec transform, and the
+warm-up fraction.  It is frozen, hashable and picklable, so it can be
+
+* fanned out over a ``multiprocessing`` pool (the spec crosses the
+  process boundary, the trace is rendered worker-side),
+* used as a dictionary key for in-memory memoisation, and
+* digested into a stable content address for the on-disk result cache
+  (:mod:`repro.experiments.executor`).
+
+Everything that used to construct :class:`HybridMemorySimulator` by
+hand — the experiment runner, the sweeps, the examples — now goes
+through :meth:`RunSpec.execute`, so all evaluation paths share one
+simulation recipe (and the ``R011`` lint rule keeps it that way).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping
+
+from repro.memory.specs import HybridMemorySpec
+from repro.mmu.simulator import HybridMemorySimulator, PolicyFactory, RunResult
+from repro.policies.registry import policy_factory
+from repro.workloads.parsec import (
+    DEFAULT_FOOTPRINT_SCALE,
+    DEFAULT_REQUEST_SCALE,
+    WorkloadInstance,
+    parsec_workload,
+)
+
+# ----------------------------------------------------------------------
+# Declarative machine-spec transforms
+# ----------------------------------------------------------------------
+# A transform is named by a string plus positional arguments so it can
+# live inside a hashable, picklable spec (closures cannot).  The
+# vocabulary covers every normalisation the evaluation uses: the
+# paper's single-module baselines, the A-3 DRAM-share ablation, and the
+# NVM-technology scaling studies.
+
+
+def _dram_only(spec: HybridMemorySpec) -> HybridMemorySpec:
+    return spec.as_dram_only()
+
+
+def _nvm_only(spec: HybridMemorySpec) -> HybridMemorySpec:
+    return spec.as_nvm_only()
+
+
+def _dram_fraction(spec: HybridMemorySpec,
+                   fraction: float) -> HybridMemorySpec:
+    return spec.with_dram_fraction(fraction)
+
+
+def _nvm_scaled(spec: HybridMemorySpec, latency: float = 1.0,
+                energy: float = 1.0, static: float = 1.0) -> HybridMemorySpec:
+    return replace(spec, nvm=spec.nvm.scaled(
+        latency=latency, energy=energy, static=static))
+
+
+SPEC_TRANSFORMS: dict[str, Callable[..., HybridMemorySpec]] = {
+    "dram-only": _dram_only,
+    "nvm-only": _nvm_only,
+    "dram-fraction": _dram_fraction,
+    "nvm-scaled": _nvm_scaled,
+}
+
+#: Normalised override form: sorted ``(name, value)`` pairs.
+Overrides = tuple[tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined simulation, as data.
+
+    Parameters
+    ----------
+    workload:
+        PARSEC profile name (Table III).
+    policy:
+        Registered policy name (:mod:`repro.policies.registry`).
+    request_scale / footprint_scale / seed:
+        Workload rendering knobs (:func:`parsec_workload`).
+    policy_overrides:
+        Structured policy configuration — e.g.
+        ``{"read_threshold": 8}`` for the proposed scheme — passed to
+        :func:`policy_factory`; a mapping is normalised to sorted
+        pairs so equal configurations hash equally.
+    spec_transform:
+        Declarative machine transform, ``(name, *args)`` over
+        :data:`SPEC_TRANSFORMS` — e.g. ``("dram-only",)`` or
+        ``("dram-fraction", 0.3)``.
+    warmup_fraction:
+        Override of the workload's own warm-up fraction; ``None``
+        keeps the rendered instance's value.
+    """
+
+    workload: str
+    policy: str = "proposed"
+    request_scale: float = DEFAULT_REQUEST_SCALE
+    footprint_scale: float = DEFAULT_FOOTPRINT_SCALE
+    seed: int = 2016
+    policy_overrides: Overrides = ()
+    spec_transform: tuple = ()
+    warmup_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        overrides = self.policy_overrides
+        if isinstance(overrides, Mapping):
+            pairs = tuple(sorted(overrides.items()))
+        else:
+            pairs = tuple(sorted((str(k), v) for k, v in overrides))
+        object.__setattr__(self, "policy_overrides", pairs)
+        transform = tuple(self.spec_transform)
+        if transform and transform[0] not in SPEC_TRANSFORMS:
+            known = ", ".join(sorted(SPEC_TRANSFORMS))
+            raise ValueError(
+                f"unknown spec transform {transform[0]!r}; known: {known}")
+        object.__setattr__(self, "spec_transform", transform)
+        if self.warmup_fraction is not None \
+                and not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def core(cls, workload: str, policy: str, **kwargs: Any) -> "RunSpec":
+        """A figure-grid spec: single-module baselines get the paper's
+        same-total-capacity normalisation implied by their name."""
+        transform: tuple = ()
+        if policy.startswith("dram-only"):
+            transform = ("dram-only",)
+        elif policy.startswith("nvm-only"):
+            transform = ("nvm-only",)
+        return cls(workload=workload, policy=policy,
+                   spec_transform=transform, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def key(self) -> tuple:
+        """Stable, totally-ordered sort key (deterministic merges)."""
+        return (
+            self.workload,
+            self.policy,
+            repr(self.spec_transform),
+            repr(self.policy_overrides),
+            self.request_scale,
+            self.footprint_scale,
+            self.seed,
+            -1.0 if self.warmup_fraction is None else self.warmup_fraction,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (cache keys and cache-file headers)."""
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "request_scale": self.request_scale,
+            "footprint_scale": self.footprint_scale,
+            "seed": self.seed,
+            "policy_overrides": [list(pair) for pair in self.policy_overrides],
+            "spec_transform": list(self.spec_transform),
+            "warmup_fraction": self.warmup_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunSpec":
+        return cls(
+            workload=data["workload"],
+            policy=data["policy"],
+            request_scale=data["request_scale"],
+            footprint_scale=data["footprint_scale"],
+            seed=data["seed"],
+            policy_overrides=tuple(
+                (name, value) for name, value in data["policy_overrides"]
+            ),
+            spec_transform=tuple(data["spec_transform"]),
+            warmup_fraction=data["warmup_fraction"],
+        )
+
+    def digest(self) -> str:
+        """Content address of the spec (code version is layered on by
+        the cache, so the digest itself is pure input identity)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+    def label(self) -> str:
+        """Short human-readable form for progress reporting."""
+        parts = [self.workload, self.policy]
+        if self.spec_transform:
+            parts.append("/".join(str(p) for p in self.spec_transform))
+        if self.policy_overrides:
+            parts.append(",".join(f"{k}={v}"
+                                  for k, v in self.policy_overrides))
+        return ":".join(parts)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def render(self) -> WorkloadInstance:
+        """Render the workload (trace + sized machine) for this spec."""
+        return parsec_workload(
+            self.workload,
+            request_scale=self.request_scale,
+            footprint_scale=self.footprint_scale,
+            seed=self.seed,
+        )
+
+    def machine_spec(self, instance: WorkloadInstance) -> HybridMemorySpec:
+        """The rendered machine with this spec's transform applied."""
+        spec = instance.spec
+        if self.spec_transform:
+            name, *args = self.spec_transform
+            spec = SPEC_TRANSFORMS[name](spec, *args)
+        return spec
+
+    def build_policy_factory(self) -> PolicyFactory:
+        """Policy factory resolved from the registry plus overrides."""
+        return policy_factory(self.policy, dict(self.policy_overrides) or None)
+
+    def execute(
+        self,
+        instance: WorkloadInstance | None = None,
+        factory: PolicyFactory | None = None,
+    ) -> RunResult:
+        """Run the simulation this spec describes.
+
+        ``instance`` lets callers (the executor's per-worker cache, a
+        sweep over one workload) reuse an already-rendered workload;
+        it must match the spec's rendering knobs.  ``factory``
+        substitutes the policy factory — used by studies that need the
+        policy *object* afterwards (e.g. the adaptive-threshold
+        comparison); such runs bypass the result cache because the
+        factory is not part of the spec's identity.
+        """
+        if instance is None:
+            instance = self.render()
+        simulator = HybridMemorySimulator(
+            self.machine_spec(instance),
+            factory if factory is not None else self.build_policy_factory(),
+            inter_request_gap=instance.inter_request_gap,
+        )
+        warmup = (instance.warmup_fraction if self.warmup_fraction is None
+                  else self.warmup_fraction)
+        return simulator.run(instance.trace, warmup_fraction=warmup)

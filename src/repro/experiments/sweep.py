@@ -4,6 +4,12 @@ Each sweep runs the proposed scheme across one knob — promotion
 thresholds (A-1), counter-window size (A-2), DRAM share (A-3) — and the
 adaptive-threshold extension study (A-4), returning per-point metric
 rows suitable for table rendering and shape assertions.
+
+Every sweep point is a declarative
+:class:`~repro.experiments.runspec.RunSpec` (policy overrides for the
+threshold/window knobs, a ``dram-fraction`` spec transform for the
+capacity split) submitted through an executor, so sweeps parallelise
+and hit the persistent result cache exactly like the figure grids.
 """
 
 from __future__ import annotations
@@ -13,9 +19,9 @@ from typing import Sequence
 
 from repro.core.adaptive import AdaptiveMigrationPolicy
 from repro.core.config import MigrationConfig
-from repro.mmu.simulator import HybridMemorySimulator, RunResult
-from repro.policies.registry import policy_factory, proposed_with
-from repro.workloads.parsec import WorkloadInstance, parsec_workload
+from repro.experiments.executor import ParallelExecutor
+from repro.experiments.runspec import RunSpec
+from repro.mmu.simulator import RunResult
 
 
 @dataclass(frozen=True)
@@ -46,15 +52,9 @@ class SweepPoint:
         )
 
 
-def _simulate(instance: WorkloadInstance, factory,
-              spec=None) -> RunResult:
-    simulator = HybridMemorySimulator(
-        spec or instance.spec,
-        factory,
-        inter_request_gap=instance.inter_request_gap,
-    )
-    return simulator.run(instance.trace,
-                         warmup_fraction=instance.warmup_fraction)
+def _submit(specs: Sequence[RunSpec],
+            executor: ParallelExecutor | None) -> list[RunResult]:
+    return (executor or ParallelExecutor(jobs=1)).submit(list(specs))
 
 
 def threshold_sweep(
@@ -62,6 +62,7 @@ def threshold_sweep(
     thresholds: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
     base_config: MigrationConfig | None = None,
     seed: int = 2016,
+    executor: ParallelExecutor | None = None,
 ) -> list[SweepPoint]:
     """Sweep both promotion thresholds together (A-1).
 
@@ -69,56 +70,75 @@ def threshold_sweep(
     the scheme's write-priority rule.
     """
     base = base_config or MigrationConfig()
-    instance = parsec_workload(workload, seed=seed)
-    points = []
-    for threshold in thresholds:
-        config = MigrationConfig(
-            read_window_fraction=base.read_window_fraction,
-            write_window_fraction=base.write_window_fraction,
-            read_threshold=threshold,
-            write_threshold=max(1, threshold // 2),
+    specs = [
+        RunSpec(
+            workload,
+            policy="proposed",
+            seed=seed,
+            policy_overrides={
+                "read_window_fraction": base.read_window_fraction,
+                "write_window_fraction": base.write_window_fraction,
+                "read_threshold": threshold,
+                "write_threshold": max(1, threshold // 2),
+            },
         )
-        run = _simulate(instance, proposed_with(config))
-        points.append(SweepPoint.from_run("read_threshold", threshold, run))
-    return points
+        for threshold in thresholds
+    ]
+    return [
+        SweepPoint.from_run("read_threshold", threshold, run)
+        for threshold, run in zip(thresholds, _submit(specs, executor))
+    ]
 
 
 def window_sweep(
     workload: str = "dedup",
     fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
     seed: int = 2016,
+    executor: ParallelExecutor | None = None,
 ) -> list[SweepPoint]:
     """Sweep the counter-window size (A-2); the write window tracks at
     1.5x the read window, capped at the whole queue."""
     base = MigrationConfig()
-    instance = parsec_workload(workload, seed=seed)
-    points = []
-    for fraction in fractions:
-        config = MigrationConfig(
-            read_window_fraction=fraction,
-            write_window_fraction=min(1.0, fraction * 1.5),
-            read_threshold=base.read_threshold,
-            write_threshold=base.write_threshold,
+    specs = [
+        RunSpec(
+            workload,
+            policy="proposed",
+            seed=seed,
+            policy_overrides={
+                "read_window_fraction": fraction,
+                "write_window_fraction": min(1.0, fraction * 1.5),
+                "read_threshold": base.read_threshold,
+                "write_threshold": base.write_threshold,
+            },
         )
-        run = _simulate(instance, proposed_with(config))
-        points.append(SweepPoint.from_run("read_window_fraction",
-                                          fraction, run))
-    return points
+        for fraction in fractions
+    ]
+    return [
+        SweepPoint.from_run("read_window_fraction", fraction, run)
+        for fraction, run in zip(fractions, _submit(specs, executor))
+    ]
 
 
 def dram_ratio_sweep(
     workload: str = "dedup",
     ratios: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.5),
     seed: int = 2016,
+    executor: ParallelExecutor | None = None,
 ) -> list[SweepPoint]:
     """Sweep DRAM's share of the hybrid memory (A-3)."""
-    instance = parsec_workload(workload, seed=seed)
-    points = []
-    for ratio in ratios:
-        spec = instance.spec.with_dram_fraction(ratio)
-        run = _simulate(instance, policy_factory("proposed"), spec=spec)
-        points.append(SweepPoint.from_run("dram_fraction", ratio, run))
-    return points
+    specs = [
+        RunSpec(
+            workload,
+            policy="proposed",
+            seed=seed,
+            spec_transform=("dram-fraction", ratio),
+        )
+        for ratio in ratios
+    ]
+    return [
+        SweepPoint.from_run("dram_fraction", ratio, run)
+        for ratio, run in zip(ratios, _submit(specs, executor))
+    ]
 
 
 @dataclass(frozen=True)
@@ -144,9 +164,13 @@ def adaptive_comparison(workload: str = "raytrace",
                         seed: int = 2016) -> AdaptiveComparison:
     """Run the A-4 extension study: does adaptation help the workloads
     whose optimal thresholds differ (Section V-B's raytrace remark)?"""
-    instance = parsec_workload(workload, seed=seed)
-    fixed_run = _simulate(instance, policy_factory("proposed"))
+    fixed_spec = RunSpec(workload, policy="proposed", seed=seed)
+    fixed_run = fixed_spec.execute()
 
+    # The study reads the *policy object* back (learned thresholds,
+    # promotion telemetry), so the adaptive run substitutes a capturing
+    # factory — RunSpec.execute supports that directly, bypassing the
+    # result cache because the factory is outside the spec's identity.
     adaptive_policy_box: list[AdaptiveMigrationPolicy] = []
 
     def adaptive_factory(mm):
@@ -154,7 +178,8 @@ def adaptive_comparison(workload: str = "raytrace",
         adaptive_policy_box.append(policy)
         return policy
 
-    adaptive_run = _simulate(instance, adaptive_factory)
+    adaptive_spec = RunSpec(workload, policy="adaptive", seed=seed)
+    adaptive_run = adaptive_spec.execute(factory=adaptive_factory)
     policy = adaptive_policy_box[0]
     return AdaptiveComparison(
         workload=workload,

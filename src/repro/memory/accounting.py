@@ -12,6 +12,7 @@ exact bookkeeping identities over a run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
 
 from repro.units import Count, Ratio
 
@@ -192,6 +193,14 @@ class AccessAccounting:
         """Plain-dict copy of the raw counters (for reports and tests)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form; inverse of :meth:`from_dict`."""
+        return self.snapshot()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AccessAccounting":
+        return cls(**data)
+
 
 @dataclass
 class WearAccounting:
@@ -225,6 +234,36 @@ class WearAccounting:
     def record_request_write(self, page: int) -> None:
         self.request_writes += 1
         self.page_writes[page] = self.page_writes.get(page, 0) + 1
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form; inverse of :meth:`from_dict`.
+
+        The per-page histogram's integer page numbers become string
+        keys (JSON objects only key on strings); :meth:`from_dict`
+        restores them.
+        """
+        return {
+            "page_factor": self.page_factor,
+            "fault_fill_writes": self.fault_fill_writes,
+            "migration_writes": self.migration_writes,
+            "request_writes": self.request_writes,
+            "page_writes": {
+                str(page): count for page, count in self.page_writes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WearAccounting":
+        return cls(
+            page_factor=data["page_factor"],
+            fault_fill_writes=data["fault_fill_writes"],
+            migration_writes=data["migration_writes"],
+            request_writes=data["request_writes"],
+            page_writes={
+                int(page): count
+                for page, count in data["page_writes"].items()
+            },
+        )
 
     @property
     def total_writes(self) -> Count:

@@ -8,7 +8,8 @@ fair comparison) and Table II's 5 ms HDD.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping
 
 from repro.units import Bytes, Joules, Seconds, Watts
 
@@ -95,6 +96,14 @@ class MemoryDeviceSpec:
             static_power_per_gb=self.static_power_per_gb * static,
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (result cache / pool serialisation)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MemoryDeviceSpec":
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class DiskSpec:
@@ -112,6 +121,14 @@ class DiskSpec:
     def __post_init__(self) -> None:
         if self.access_latency < 0:
             raise ValueError("access_latency must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (result cache / pool serialisation)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DiskSpec":
+        return cls(**data)
 
 
 def dram_spec() -> MemoryDeviceSpec:

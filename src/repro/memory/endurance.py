@@ -18,7 +18,8 @@ in NVM by construction.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
 
 from repro.memory.accounting import AccessAccounting, WearAccounting
 from repro.memory.specs import HybridMemorySpec
@@ -40,6 +41,14 @@ class NVMWriteBreakdown:
         if baseline.total == 0:
             raise ZeroDivisionError("baseline NVM write count is zero")
         return self.total / baseline.total
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (result cache / pool serialisation)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NVMWriteBreakdown":
+        return cls(**data)
 
 
 def compute_nvm_writes(
@@ -70,6 +79,14 @@ class EnduranceReport:
     def wear_is_even(self) -> bool:
         """Heuristic: coefficient of variation below 1 reads as even wear."""
         return self.wear_cv < 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (result cache / pool serialisation)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EnduranceReport":
+        return cls(**data)
 
 
 def endurance_report(

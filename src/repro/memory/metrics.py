@@ -15,7 +15,8 @@ event counts, so the computed AMAT is an exact identity over a run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
 
 from repro.memory.accounting import AccessAccounting
 from repro.memory.specs import HybridMemorySpec
@@ -69,6 +70,14 @@ class PerformanceBreakdown:
         if baseline.amat == 0:
             raise ZeroDivisionError("baseline AMAT is zero")
         return self.amat / baseline.amat
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (result cache / pool serialisation)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PerformanceBreakdown":
+        return cls(**data)
 
 
 def compute_performance(

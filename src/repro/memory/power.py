@@ -17,7 +17,8 @@ performance model's AMAT, which is computed first and passed in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
 
 from repro.memory.accounting import AccessAccounting
 from repro.memory.metrics import PerformanceBreakdown, compute_performance
@@ -65,6 +66,14 @@ class PowerBreakdown:
         if baseline.appr == 0:
             raise ZeroDivisionError("baseline APPR is zero")
         return self.appr / baseline.appr
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (result cache / pool serialisation)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PowerBreakdown":
+        return cls(**data)
 
 
 def compute_power(

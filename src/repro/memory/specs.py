@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import Any, Mapping
 
 from repro.memory.devices import (
     DiskSpec,
@@ -168,6 +169,33 @@ class HybridMemorySpec:
     def as_nvm_only(self) -> "HybridMemorySpec":
         """Same total capacity, all frames NVM (Fig. 2c/4b baseline)."""
         return replace(self, dram_pages=0, nvm_pages=self.total_pages)
+
+    # ------------------------------------------------------------------
+    # Serialisation (result cache / pool transport)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form; inverse of :meth:`from_dict`."""
+        return {
+            "dram": self.dram.to_dict(),
+            "nvm": self.nvm.to_dict(),
+            "disk": self.disk.to_dict(),
+            "dram_pages": self.dram_pages,
+            "nvm_pages": self.nvm_pages,
+            "page_size": self.page_size,
+            "access_size": self.access_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HybridMemorySpec":
+        return cls(
+            dram=MemoryDeviceSpec.from_dict(data["dram"]),
+            nvm=MemoryDeviceSpec.from_dict(data["nvm"]),
+            disk=DiskSpec.from_dict(data["disk"]),
+            dram_pages=data["dram_pages"],
+            nvm_pages=data["nvm_pages"],
+            page_size=data["page_size"],
+            access_size=data["access_size"],
+        )
 
     def with_dram_fraction(self, dram_fraction: Ratio) -> "HybridMemorySpec":
         """Re-split the same total capacity with a new DRAM share."""

@@ -10,7 +10,7 @@ models on the resulting event counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.memory.accounting import AccessAccounting, WearAccounting
 from repro.memory.endurance import (
@@ -59,6 +59,40 @@ class RunResult:
     @property
     def hit_ratio(self) -> float:
         return self.accounting.hit_ratio
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form: everything needed to rebuild the result.
+
+        This is the serialisation the parallel executor ships across
+        the worker pool and the disk cache persists; it must round-trip
+        losslessly through :meth:`from_dict` (floats survive JSON via
+        repr round-tripping, so equality is exact).
+        """
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "spec": self.spec.to_dict(),
+            "accounting": self.accounting.to_dict(),
+            "wear": self.wear.to_dict(),
+            "performance": self.performance.to_dict(),
+            "power": self.power.to_dict(),
+            "nvm_writes": self.nvm_writes.to_dict(),
+            "endurance": self.endurance.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            workload=data["workload"],
+            policy=data["policy"],
+            spec=HybridMemorySpec.from_dict(data["spec"]),
+            accounting=AccessAccounting.from_dict(data["accounting"]),
+            wear=WearAccounting.from_dict(data["wear"]),
+            performance=PerformanceBreakdown.from_dict(data["performance"]),
+            power=PowerBreakdown.from_dict(data["power"]),
+            nvm_writes=NVMWriteBreakdown.from_dict(data["nvm_writes"]),
+            endurance=EnduranceReport.from_dict(data["endurance"]),
+        )
 
     def summary(self) -> dict[str, float]:
         """Flat metric dict used by reports and regression tests."""

@@ -13,7 +13,7 @@ regardless of which package is imported first.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.mmu.manager import MemoryManager
 from repro.policies.base import HybridMemoryPolicy, PolicyFactory
@@ -78,14 +78,67 @@ def available_policies() -> list[str]:
     return sorted(_FACTORIES)
 
 
-def policy_factory(name: str) -> PolicyFactory:
-    """Factory for a registered policy name."""
+def policy_factory(
+    name: str,
+    overrides: Mapping[str, object] | None = None,
+) -> PolicyFactory:
+    """Factory for a registered policy name.
+
+    ``overrides`` configures the policy structurally instead of through
+    ad-hoc closures: for the configurable policies (``proposed``,
+    ``adaptive``, ``clock-dwf``) the mapping supplies
+    :class:`MigrationConfig` fields and/or constructor keywords —
+    exactly what :class:`~repro.experiments.runspec.RunSpec` carries as
+    its hashable ``policy_overrides``.
+    """
     _ensure_builtins()
     try:
-        return _FACTORIES[name]
+        base = _FACTORIES[name]
     except KeyError:
         known = ", ".join(available_policies())
         raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+    if not overrides:
+        return base
+    return _configured_factory(name, dict(overrides))
+
+
+def _configured_factory(
+    name: str, overrides: dict[str, object]
+) -> PolicyFactory:
+    """Bind structured overrides into a factory for a configurable policy."""
+    from dataclasses import fields
+
+    from repro.core.adaptive import AdaptiveMigrationPolicy
+    from repro.core.config import MigrationConfig
+    from repro.core.migration import MigrationLRUPolicy
+    from repro.policies.clock_dwf import ClockDWFPolicy
+
+    config_fields = {f.name for f in fields(MigrationConfig)}
+    config_kwargs = {
+        key: value for key, value in overrides.items()
+        if key in config_fields
+    }
+    extra = {
+        key: value for key, value in overrides.items()
+        if key not in config_fields
+    }
+
+    if name == "proposed":
+        if extra:
+            raise ValueError(
+                f"unknown override(s) for 'proposed': {sorted(extra)}")
+        config = MigrationConfig(**config_kwargs)
+        return lambda mm: MigrationLRUPolicy(mm, config)
+    if name == "adaptive":
+        config = MigrationConfig(**config_kwargs)
+        return lambda mm: AdaptiveMigrationPolicy(mm, config, **extra)
+    if name == "clock-dwf":
+        if config_kwargs:
+            raise ValueError(
+                "clock-dwf takes no MigrationConfig fields: "
+                f"{sorted(config_kwargs)}")
+        return lambda mm: ClockDWFPolicy(mm, **extra)
+    raise ValueError(f"policy {name!r} does not accept overrides")
 
 
 def make_policy(name: str, mm: MemoryManager) -> HybridMemoryPolicy:
@@ -102,13 +155,14 @@ def register_policy(name: str, factory: PolicyFactory) -> None:
 
 
 def proposed_with(config: "MigrationConfig") -> PolicyFactory:
-    """Factory for the proposed scheme with custom thresholds/windows."""
-    from repro.core.migration import MigrationLRUPolicy
+    """Factory for the proposed scheme with custom thresholds/windows.
 
-    def factory(mm: MemoryManager) -> HybridMemoryPolicy:
-        return MigrationLRUPolicy(mm, config)
+    Equivalent to ``policy_factory("proposed", asdict(config))`` — kept
+    for callers that already hold a :class:`MigrationConfig`.
+    """
+    from dataclasses import asdict
 
-    return factory
+    return policy_factory("proposed", asdict(config))
 
 
 def replacement_algorithm(name: str, capacity: int) -> "ReplacementAlgorithm":

@@ -94,6 +94,27 @@ class TestFiguresAndTables:
         assert "read_threshold" in out
 
 
+class TestRun:
+    ARGS = ["run", "--workload", "raytrace", "--policy", "proposed"]
+
+    def test_grid_through_executor(self, capsys):
+        assert main([*self.ARGS, "--no-cache", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "raytrace" in out
+        assert "simulated 1" in out
+
+    def test_persistent_cache_round_trip(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main([*self.ARGS, *cache, "--jobs", "1"]) == 0
+        first = capsys.readouterr().out
+        assert "simulated 1, cache hits 0, cache misses 1" in first
+        assert main([*self.ARGS, *cache, "--jobs", "1"]) == 0
+        second = capsys.readouterr().out
+        assert "simulated 0, cache hits 1, cache misses 0" in second
+        # cached metrics identical to the freshly-simulated ones
+        assert second.splitlines()[:4] == first.splitlines()[:4]
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

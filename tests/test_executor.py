@@ -1,0 +1,247 @@
+"""RunSpec / ParallelExecutor / ResultCache behaviour.
+
+Covers the executor redesign's contracts: spec identity (hashing,
+digests, serialisation), deterministic parallel merges (serial and
+``--jobs N`` byte-identical), cache hit/miss/invalidation, and worker
+crashes surfacing as :class:`ExecutorError` without losing the rest of
+the batch.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.executor import (
+    ExecutorError,
+    ParallelExecutor,
+    ResultCache,
+    code_version,
+    execute_specs,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runspec import RunSpec
+from repro.policies.registry import register_policy
+
+#: Tiny rendering scale so each simulation stays in the millisecond
+#: range; identity/caching/merge semantics do not depend on scale.
+SCALE = dict(request_scale=1 / 4000, footprint_scale=1 / 256)
+
+#: Parallel width used by the pool tests; CI raises it via the
+#: environment to exercise the executor with real concurrency.
+JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+
+
+def small(workload="dedup", policy="proposed", **kwargs):
+    return RunSpec.core(workload, policy, **SCALE, **kwargs)
+
+
+class _AlwaysCrash:
+    """Policy factory that dies on construction, in any process."""
+
+    def __call__(self, mm):
+        raise RuntimeError("injected crash")
+
+
+@pytest.fixture
+def crashy_policy():
+    """Temporarily register a policy that crashes on construction.
+
+    Pool workers are forked at submit time, so they inherit the live
+    registry entry and the crash happens worker-side.  The entry is
+    removed afterwards — other tests iterate ``available_policies()``
+    and must not trip over it.
+    """
+    from repro.policies import registry
+
+    register_policy("test-crashy", _AlwaysCrash())
+    yield "test-crashy"
+    registry._FACTORIES.pop("test-crashy", None)
+
+
+# ----------------------------------------------------------------------
+# RunSpec identity
+# ----------------------------------------------------------------------
+class TestRunSpec:
+    def test_mapping_and_tuple_overrides_are_equal(self):
+        by_mapping = RunSpec("dedup", policy_overrides={
+            "read_threshold": 4, "write_threshold": 2})
+        by_tuple = RunSpec("dedup", policy_overrides=(
+            ("write_threshold", 2), ("read_threshold", 4)))
+        assert by_mapping == by_tuple
+        assert hash(by_mapping) == hash(by_tuple)
+        assert by_mapping.digest() == by_tuple.digest()
+
+    def test_digest_differs_across_fields(self):
+        base = small()
+        assert base.digest() != small(policy="clock-dwf").digest()
+        assert base.digest() != small(seed=7).digest()
+        assert base.digest() != small(
+            policy_overrides={"read_threshold": 9}).digest()
+
+    def test_round_trips_through_json(self):
+        spec = small(policy="nvm-only",
+                     policy_overrides={}, warmup_fraction=0.25)
+        rebuilt = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.digest() == spec.digest()
+
+    def test_core_derives_single_module_transforms(self):
+        assert small(policy="dram-only").spec_transform == ("dram-only",)
+        assert small(policy="nvm-only").spec_transform == ("nvm-only",)
+        assert small(policy="proposed").spec_transform == ()
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec transform"):
+            RunSpec("dedup", spec_transform=("bogus",))
+
+    def test_warmup_fraction_validated(self):
+        with pytest.raises(ValueError):
+            RunSpec("dedup", warmup_fraction=1.0)
+
+    def test_specs_are_pool_and_dict_ready(self):
+        import pickle
+
+        spec = small(policy_overrides={"read_threshold": 4})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert {spec: 1}[spec] == 1
+
+
+# ----------------------------------------------------------------------
+# RunResult serialisation
+# ----------------------------------------------------------------------
+class TestRunResultRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        from repro.mmu.simulator import RunResult
+
+        result = small().execute()
+        payload = json.loads(json.dumps(result.to_dict()))
+        rebuilt = RunResult.from_dict(payload)
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.summary() == result.summary()
+        # wear histogram keys survive the str round-trip JSON forces
+        assert rebuilt.wear.page_writes == result.wear.page_writes
+        assert all(isinstance(page, int)
+                   for page in rebuilt.wear.page_writes)
+
+
+# ----------------------------------------------------------------------
+# Executor semantics
+# ----------------------------------------------------------------------
+GRID = [small(workload, policy)
+        for workload in ("dedup", "raytrace")
+        for policy in ("proposed", "clock-dwf", "dram-only")]
+
+
+class TestParallelExecutor:
+    def test_parallel_matches_serial_exactly(self):
+        serial = ParallelExecutor(jobs=1).submit(GRID)
+        parallel = ParallelExecutor(jobs=JOBS).submit(GRID)
+        for one, other in zip(serial, parallel):
+            assert one.to_dict() == other.to_dict()
+            assert json.dumps(one.summary(), sort_keys=True) == \
+                json.dumps(other.summary(), sort_keys=True)
+
+    def test_duplicates_simulated_once(self):
+        executor = ParallelExecutor(jobs=1)
+        spec = small()
+        results = executor.submit([spec, spec, spec])
+        assert executor.stats.simulated == 1
+        assert results[0] is results[1] is results[2]
+
+    def test_progress_reports_every_spec(self):
+        seen = []
+        executor = ParallelExecutor(
+            jobs=1, progress=lambda done, total, spec:
+            seen.append((done, total, spec)))
+        executor.submit(GRID[:3])
+        assert [done for done, _, _ in seen] == [1, 2, 3]
+        assert all(total == 3 for _, total, _ in seen)
+        assert {spec for _, _, spec in seen} == set(GRID[:3])
+
+    def test_crash_surfaces_after_batch_completes(self, crashy_policy):
+        crashing = RunSpec("dedup", policy=crashy_policy, **SCALE)
+        batch = GRID[:3] + [crashing]
+        executor = ParallelExecutor(jobs=JOBS, retries=1)
+        with pytest.raises(ExecutorError) as excinfo:
+            executor.submit(batch)
+        error = excinfo.value
+        # the three healthy specs completed despite the crash ...
+        assert set(error.results) == set(GRID[:3])
+        assert [failure.spec for failure in error.failures] == [crashing]
+        assert "injected crash" in error.failures[0].traceback
+        # ... and the crash was retried before being reported
+        assert executor.stats.retries >= 1
+        assert executor.stats.failures == 1
+
+    def test_execute_specs_convenience(self):
+        (result,) = execute_specs([small()])
+        assert result.policy == "proposed"
+
+
+# ----------------------------------------------------------------------
+# Persistent cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_hit_after_miss_and_zero_resimulation(self, tmp_path):
+        spec = small()
+        first = ParallelExecutor(jobs=1, cache=ResultCache(tmp_path))
+        warm = first.submit([spec])
+        assert (first.stats.cache_misses, first.stats.simulated) == (1, 1)
+
+        second = ParallelExecutor(jobs=1, cache=ResultCache(tmp_path))
+        cached = second.submit([spec])
+        assert (second.stats.cache_hits, second.stats.simulated) == (1, 0)
+        assert cached[0].to_dict() == warm[0].to_dict()
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        spec = small()
+        old = ParallelExecutor(
+            jobs=1, cache=ResultCache(tmp_path, version="aaaa"))
+        old.submit([spec])
+        new = ParallelExecutor(
+            jobs=1, cache=ResultCache(tmp_path, version="bbbb"))
+        new.submit([spec])
+        assert new.stats.cache_hits == 0
+        assert new.stats.simulated == 1
+
+    def test_digest_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = ParallelExecutor(jobs=1, cache=cache)
+        executor.submit([small()])
+        executor.submit([small(seed=7)])
+        assert executor.stats.cache_hits == 0
+        assert executor.stats.cache_misses == 2
+
+    def test_corrupt_file_reads_as_miss(self, tmp_path):
+        spec = small()
+        cache = ResultCache(tmp_path)
+        ParallelExecutor(jobs=1, cache=cache).submit([spec])
+        cache.path_for(spec).write_text("{not json", encoding="utf-8")
+        fresh = ParallelExecutor(jobs=1, cache=ResultCache(tmp_path))
+        fresh.submit([spec])
+        assert fresh.stats.simulated == 1
+
+    def test_cache_files_are_self_describing(self, tmp_path):
+        spec = small()
+        cache = ResultCache(tmp_path)
+        ParallelExecutor(jobs=1, cache=cache).submit([spec])
+        payload = json.loads(cache.path_for(spec).read_text())
+        assert payload["version"] == code_version()
+        assert RunSpec.from_dict(payload["spec"]) == spec
+
+
+# ----------------------------------------------------------------------
+# Runner integration
+# ----------------------------------------------------------------------
+class TestRunnerIntegration:
+    def test_runner_batches_through_executor(self, tmp_path):
+        executor = ParallelExecutor(jobs=1, cache=ResultCache(tmp_path))
+        runner = ExperimentRunner(**SCALE, workloads=("dedup", "raytrace"),
+                                  executor=executor)
+        grid = runner.grid(policies=("proposed", "clock-dwf"))
+        assert set(grid) == {"dedup", "raytrace"}
+        assert executor.stats.simulated == 4
+        # the runner's in-memory memo preserves object identity
+        again = runner.run("dedup", "proposed")
+        assert again is grid["dedup"].runs["proposed"]

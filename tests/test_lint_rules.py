@@ -1,4 +1,4 @@
-"""Tests for the custom lint pass (repro.analysis rules R002-R010)."""
+"""Tests for the custom lint pass (repro.analysis rules R002-R011)."""
 
 from __future__ import annotations
 
@@ -383,6 +383,37 @@ class TestR005:
         findings = _lint_snippet(tmp_path, """
             spec = DeviceSpec(read_latency=5e-08)
         """, filename="policies/tuning.py", select=["R005"])
+        assert findings == []
+
+
+class TestR011:
+    def test_direct_construction_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            from repro.mmu.simulator import HybridMemorySimulator
+            sim = HybridMemorySimulator(spec, factory)
+        """, filename="scripts/ad_hoc.py", select=["R011"])
+        assert len(findings) == 1
+        assert "RunSpec.execute()" in findings[0].message
+
+    def test_attribute_call_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            import repro.mmu.simulator as sim_mod
+            sim = sim_mod.HybridMemorySimulator(spec, factory)
+        """, filename="scripts/ad_hoc.py", select=["R011"])
+        assert len(findings) == 1
+
+    def test_engine_packages_exempt(self, tmp_path):
+        source = """
+            sim = HybridMemorySimulator(spec, factory)
+        """
+        for filename in ("experiments/runspec_x.py", "mmu/driver.py"):
+            assert _lint_snippet(tmp_path, source, filename=filename,
+                                 select=["R011"]) == []
+
+    def test_other_calls_clean(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            result = RunSpec("dedup").execute()
+        """, filename="scripts/ad_hoc.py", select=["R011"])
         assert findings == []
 
 
