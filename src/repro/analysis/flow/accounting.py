@@ -1,4 +1,4 @@
-"""The accounting contract on the fixpoint engine (rule R010).
+"""The accounting contract on the fixpoint engine (rules R010/R012).
 
 Re-implements PR 1's R001 — every concrete policy ``access`` must call
 ``mm.record_request`` exactly once on every control-flow path — as a
@@ -18,6 +18,7 @@ request), which the CFG expresses structurally: they drain into
 from __future__ import annotations
 
 import ast
+import copy
 from typing import Iterator
 
 from repro.analysis.context import ProjectContext, SourceFile, is_abstract
@@ -143,3 +144,216 @@ class AccountingRule:
             rule_id=self.rule_id,
             message=message,
         )
+
+
+# ----------------------------------------------------------------------
+# R012 — the same contract for batched kernels
+# ----------------------------------------------------------------------
+#: Deferred per-request counters a batch kernel may tick instead of
+#: calling ``record_request`` inline (they flush into the accounting
+#: object after the loop).
+_REQUEST_COUNTERS = frozenset({"read_requests", "write_requests"})
+
+#: Calls that route one request through the accounting machinery:
+#: ``record_request`` itself, or delegation to the per-request
+#: ``access`` method (whose own accounting R010 already checks).
+_ROUTING_CALLS = frozenset({"record_request", "access"})
+
+
+def _events_in(node: ast.AST) -> int:
+    """Accounting events within one evaluated node.
+
+    An event is a routing call (:data:`_ROUTING_CALLS`) or a ``+=`` on
+    a deferred request counter (:data:`_REQUEST_COUNTERS`), written as
+    either a bare name or an attribute — kernels hoist both forms.
+    Nested function/class definitions and lambdas are skipped (their
+    bodies do not run inline).
+    """
+    count = 0
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name in _ROUTING_CALLS:
+            count += 1
+    elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+        target = node.target
+        name = target.attr if isinstance(target, ast.Attribute) \
+            else getattr(target, "id", "")
+        if name in _REQUEST_COUNTERS:
+            count += 1
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (*SCOPE_STMTS, ast.Lambda)):
+            continue
+        count += _events_in(child)
+    return count
+
+
+def events_at(stmt: ast.stmt) -> int:
+    """Accounting events the CFG attributes to ``stmt``'s block slot."""
+    heads = head_expressions(stmt)
+    if heads:
+        return sum(_events_in(expr) for expr in heads)
+    if isinstance(stmt, SCOPE_STMTS):
+        return 0
+    return _events_in(stmt)
+
+
+class RecordEventAnalysis(RecordRequestAnalysis):
+    """Forward analysis over saturated accounting-event sets."""
+
+    def transfer(self, stmt: ast.stmt, state: CountState) -> CountState:
+        extra = events_at(stmt)
+        if not extra:
+            return state
+        return frozenset(min(count + extra, MANY) for count in state)
+
+
+class _LoopJumpRewriter(ast.NodeTransformer):
+    """Turn a loop body's own ``continue``/``break`` into ``return``.
+
+    The loop body is analysed as a standalone function (one iteration =
+    one request), where ``continue`` and ``break`` both terminate the
+    per-request path and must therefore reach the function exit.  Jumps
+    belonging to *nested* loops keep their meaning: the rewriter does
+    not descend into loop statements (or nested scopes).
+    """
+
+    def visit_For(self, node: ast.For) -> ast.AST:
+        return node
+
+    visit_AsyncFor = visit_For  # type: ignore[assignment]
+    visit_While = visit_For  # type: ignore[assignment]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.AST:
+        return node
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> ast.AST:
+        return node
+
+    def visit_Continue(self, node: ast.Continue) -> ast.AST:
+        return ast.copy_location(ast.Return(value=None), node)
+
+    def visit_Break(self, node: ast.Break) -> ast.AST:
+        return ast.copy_location(ast.Return(value=None), node)
+
+
+def analyze_batch_loop_paths(loop: ast.For | ast.AsyncFor) -> set[int]:
+    """Possible accounting-event totals over one iteration of ``loop``.
+
+    Counts are saturated at 2 (= "two or more"); iteration paths that
+    end in ``raise`` are dropped, exactly as R010 drops raising paths.
+    """
+    template = ast.parse("def _loop_body():\n    pass").body[0]
+    assert isinstance(template, ast.FunctionDef)
+    rewriter = _LoopJumpRewriter()
+    template.body = [
+        rewriter.visit(copy.deepcopy(stmt)) for stmt in loop.body
+    ]
+    cfg = build_cfg(template)
+    solution = solve_forward(cfg, RecordEventAnalysis())
+    at_exit = solution.block_in[cfg.exit]
+    return set(at_exit) if at_exit is not None else set()
+
+
+def _stmt_lists(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    """The statement blocks nested directly under ``stmt``."""
+    for field_name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, field_name, None)
+        if isinstance(block, list) and block \
+                and isinstance(block[0], ast.stmt):
+            yield block
+    for handler in getattr(stmt, "handlers", []):
+        yield handler.body
+    for case in getattr(stmt, "cases", []):
+        yield case.body
+
+
+def _loops_in(stmts: list[ast.stmt]) -> Iterator[ast.For | ast.AsyncFor]:
+    """Every loop statement in ``stmts``, skipping nested scopes."""
+    for stmt in stmts:
+        if isinstance(stmt, SCOPE_STMTS):
+            continue
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            yield stmt
+        for block in _stmt_lists(stmt):
+            yield from _loops_in(block)
+
+
+class BatchAccountingRule:
+    """R012: batched kernels charge each request exactly once.
+
+    ``access_batch`` overrides may defer the manager's bookkeeping —
+    tick local ``read_requests``/``write_requests`` counters on the
+    inlined fast paths and flush them after the loop — so R010's
+    "``record_request`` exactly once" cannot be checked literally.
+    This rule checks the equivalent per-request property on the
+    fixpoint engine: inside every *request loop* (a ``for`` whose
+    iterator expression mentions a parameter of ``access_batch``),
+    each iteration path performs exactly one accounting event — a
+    ``record_request``/``access`` call or a ``+=`` on a deferred
+    request counter.  Code outside the loops (the ``finally`` flush,
+    the hoisting prologue, fallback delegation) is not constrained.
+    """
+
+    rule_id = "R012"
+    aliases: tuple[str, ...] = ()
+    title = "batched access_batch kernels account each request once"
+
+    def check(self, src: SourceFile,
+              project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not project.is_policy_class(node) or is_abstract(node):
+                continue
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) \
+                        and item.name == "access_batch":
+                    yield from self._check_batch(src, node, item)
+
+    def _check_batch(
+        self, src: SourceFile, cls: ast.ClassDef, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        arguments = func.args
+        params = {
+            arg.arg
+            for arg in (*arguments.posonlyargs, *arguments.args,
+                        *arguments.kwonlyargs)
+        }
+        params.discard("self")
+        label = f"{cls.name}.access_batch"
+        for loop in _loops_in(func.body):
+            if not any(
+                isinstance(name, ast.Name) and name.id in params
+                for name in ast.walk(loop.iter)
+            ):
+                continue
+            counts = analyze_batch_loop_paths(loop)
+            if counts == {1}:
+                continue
+            if counts == {0}:
+                message = (
+                    f"request loop in {label} never accounts a request "
+                    "(no record_request/access call or request-counter "
+                    "increment on any iteration path)"
+                )
+            elif 0 in counts and any(value >= 1 for value in counts):
+                message = (
+                    f"request loop in {label} skips accounting on some "
+                    "iteration paths; each request must be charged "
+                    "exactly once"
+                )
+            else:
+                message = (
+                    f"request loop in {label} may account a request "
+                    "more than once on an iteration path"
+                )
+            yield Finding(
+                path=str(src.path),
+                line=loop.lineno,
+                col=loop.col_offset + 1,
+                rule_id=self.rule_id,
+                message=message,
+            )

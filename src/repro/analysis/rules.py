@@ -1,4 +1,4 @@
-"""The project-specific lint rules (R002-R011).
+"""The project-specific lint rules (R002-R012).
 
 Each rule checks one contract the reproduction's correctness rests on:
 
@@ -36,8 +36,15 @@ Each rule checks one contract the reproduction's correctness rests on:
     ``repro.experiments``/``repro.mmu``; everything else runs through
     ``RunSpec.execute()`` / the parallel executor so all evaluation
     paths share one simulation recipe and the result cache.
+``R012``
+    R010's contract extended to the batched kernels: every request
+    loop in an ``access_batch`` override performs exactly one
+    accounting event per iteration path — a ``record_request`` /
+    ``access`` call or a ``+=`` on a deferred request counter — so
+    the inlined fast paths cannot silently drop or double-charge a
+    request (:mod:`repro.analysis.flow.accounting`).
 
-R006-R010 are dataflow analyses living in :mod:`repro.analysis.flow`;
+R006-R010 and R012 are dataflow analyses in :mod:`repro.analysis.flow`;
 this module hosts the single-pass syntactic rules and assembles
 :data:`DEFAULT_RULES`.
 """
@@ -51,6 +58,8 @@ from repro.analysis.context import ProjectContext, SourceFile, is_abstract
 from repro.analysis.findings import Finding
 from repro.analysis.flow.accounting import (
     AccountingRule,
+    BatchAccountingRule,
+    analyze_batch_loop_paths,
     analyze_record_request_paths,
 )
 from repro.analysis.flow.typestate import ProtocolRule, RecordedFirstRule
@@ -64,10 +73,12 @@ __all__ = [
     "MagicNumberRule",
     "SimulatorConstructionRule",
     "AccountingRule",
+    "BatchAccountingRule",
     "ProtocolRule",
     "RecordedFirstRule",
     "UnitsMismatchRule",
     "UnitsSinkRule",
+    "analyze_batch_loop_paths",
     "analyze_record_request_paths",
     "DEFAULT_RULES",
 ]
@@ -393,4 +404,5 @@ DEFAULT_RULES: tuple = (
     ProtocolRule(),
     RecordedFirstRule(),
     AccountingRule(),
+    BatchAccountingRule(),
 )

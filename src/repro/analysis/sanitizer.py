@@ -339,9 +339,9 @@ class SanitizedPolicy:
     """Transparent sanitizing wrapper around a placement policy.
 
     Duck-types the :class:`~repro.policies.base.HybridMemoryPolicy`
-    surface the simulator uses (``access``/``validate``/``name``) and
-    forwards everything else to the wrapped policy, so tests poking
-    policy internals keep working.
+    surface the simulator uses (``access``/``access_batch``/
+    ``validate``/``name``) and forwards everything else to the wrapped
+    policy, so tests poking policy internals keep working.
     """
 
     def __init__(self, policy: "HybridMemoryPolicy",
@@ -362,6 +362,23 @@ class SanitizedPolicy:
     def access(self, page: int, is_write: bool) -> None:
         self._inner.access(page, is_write)
         self.sanitizer.after_access(page, is_write)
+
+    def access_batch(self, pages: list[int], writes: list[bool]) -> None:
+        """Instrumented batch kernel: check invariants after every request.
+
+        Feeds the wrapped policy's *real* ``access_batch`` one request
+        at a time, so sanitized runs (the whole test suite) exercise
+        the policy's optimised batch kernel — including its inlined
+        fast paths — while the per-request contract (record_request
+        exactly once, counter monotonicity, DMA/wear identities) is
+        still asserted between requests.  The simulator selects this
+        kernel once at setup; the plain path has no sanitizer branch.
+        """
+        inner_batch = self._inner.access_batch
+        after_access = self.sanitizer.after_access
+        for page, is_write in zip(pages, writes):
+            inner_batch((page,), (is_write,))
+            after_access(page, is_write)
 
     def validate(self) -> None:
         """Policy's own structural checks plus the deep sanitizer pass."""

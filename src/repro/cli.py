@@ -22,9 +22,12 @@ Commands
 ``sweep``
     Run a threshold / window / DRAM-ratio sweep.
 ``lint``
-    Run the project-specific static-analysis rules (R002-R011,
+    Run the project-specific static-analysis rules (R002-R012,
     including the dataflow-based units and typestate checks) over
     source paths; exits nonzero on findings.
+``profile``
+    cProfile one (workload, policy) run — workload rendering excluded
+    from the profile — and print the hottest functions.
 """
 
 from __future__ import annotations
@@ -274,6 +277,26 @@ def _cmd_lint(args) -> int:
     return run_lint(args.paths, select=args.select)
 
 
+def _cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    spec = RunSpec.core(args.workload, args.policy, seed=args.seed)
+    # Render outside the profiled region: trace synthesis is numpy-bound
+    # and would drown out the simulation kernel we care about.
+    instance = spec.render()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = spec.execute(instance=instance)
+    profiler.disable()
+
+    requests = result.accounting.total_requests
+    print(f"profiled {spec.label()}: {requests:,} requests\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     executor = _executor_from(args)
     if args.kind == "threshold":
@@ -386,8 +409,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
+        "profile",
+        help="cProfile one (workload, policy) run and print hot spots")
+    p.add_argument("--workload", default="dedup",
+                   choices=list(WORKLOAD_NAMES))
+    p.add_argument("--policy", default="proposed")
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--sort", default="cumulative",
+                   choices=("cumulative", "tottime", "calls"),
+                   help="pstats sort order (default: cumulative)")
+    p.add_argument("--top", type=int, default=25, metavar="N",
+                   help="number of rows to print (default: 25)")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
         "lint",
-        help="run the project lint rules (R002-R011) over source paths",
+        help="run the project lint rules (R002-R012) over source paths",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")

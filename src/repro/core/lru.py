@@ -24,7 +24,7 @@ class LRUNode:
     """One page's node in the queue, carrying the scheme's counters."""
 
     __slots__ = ("page", "prev", "next", "read_counter", "write_counter",
-                 "_window_mask")
+                 "_window_mask", "payload")
 
     def __init__(self, page: int) -> None:
         self.page = page
@@ -33,6 +33,11 @@ class LRUNode:
         self.read_counter = 0
         self.write_counter = 0
         self._window_mask = 0
+        # Opaque per-node cache slot for batched kernels (the migration
+        # kernel parks the page's table entry here so a hit costs one
+        # dict lookup, not two).  Nodes never outlive their page's
+        # residency stint, so a cached reference cannot go stale.
+        self.payload = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

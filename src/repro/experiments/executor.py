@@ -45,24 +45,65 @@ _VERSIONED_SUBPACKAGES = (
 )
 _VERSIONED_MODULES = ("experiments/runspec.py",)
 
-_code_version_cache: str | None = None
+#: Memoised (stat signature, content hash) of the last fingerprint
+#: computation.  The signature — (relative path, mtime_ns, size) per
+#: versioned file — is cheap to recompute (a stat per file, no reads),
+#: so the expensive content hash reruns only when some file actually
+#: changed.  Unlike a plain once-per-process memo this stays correct
+#: in long-lived processes that edit source between submits (notebook
+#: kernels, watch loops, the executor's own tests).
+_code_version_memo: tuple[tuple, str] | None = None
+
+StatSignature = tuple[tuple[str, int, int], ...]
 
 
-def code_version() -> str:
-    """Fingerprint of the simulation-relevant source (cached per process)."""
-    global _code_version_cache
-    if _code_version_cache is None:
-        root = Path(repro.__file__).parent
-        digest = hashlib.sha256()
-        files: list[Path] = []
-        for sub in _VERSIONED_SUBPACKAGES:
-            files.extend((root / sub).rglob("*.py"))
-        files.extend(root / rel for rel in _VERSIONED_MODULES)
-        for path in sorted(files):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(path.read_bytes())
-        _code_version_cache = digest.hexdigest()[:16]
-    return _code_version_cache
+def _versioned_files(root: Path) -> list[Path]:
+    files: list[Path] = []
+    for sub in _VERSIONED_SUBPACKAGES:
+        files.extend((root / sub).rglob("*.py"))
+    files.extend(
+        path for rel in _VERSIONED_MODULES
+        if (path := root / rel).is_file()
+    )
+    return sorted(files)
+
+
+def _stat_signature(root: Path, files: Sequence[Path]) -> StatSignature:
+    signature = []
+    for path in files:
+        stat = path.stat()
+        signature.append(
+            (str(path.relative_to(root)), stat.st_mtime_ns, stat.st_size)
+        )
+    return tuple(signature)
+
+
+def code_version(root: str | Path | None = None) -> str:
+    """Fingerprint of the simulation-relevant source.
+
+    Memoised against a stat signature of the versioned tree: calls
+    after the first cost one ``stat`` per file and re-hash content only
+    when a file's path set, mtime or size changed.  ``root`` overrides
+    the package directory (tests point it at a scratch tree); only the
+    default root participates in the memo.
+    """
+    global _code_version_memo
+    explicit_root = root is not None
+    base = Path(root) if explicit_root else Path(repro.__file__).parent
+    files = _versioned_files(base)
+    signature = _stat_signature(base, files)
+    if not explicit_root and _code_version_memo is not None:
+        cached_signature, cached_version = _code_version_memo
+        if cached_signature == signature:
+            return cached_version
+    digest = hashlib.sha256()
+    for path in files:
+        digest.update(str(path.relative_to(base)).encode())
+        digest.update(path.read_bytes())
+    version = digest.hexdigest()[:16]
+    if not explicit_root:
+        _code_version_memo = (signature, version)
+    return version
 
 
 # ----------------------------------------------------------------------

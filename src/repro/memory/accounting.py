@@ -17,7 +17,7 @@ from typing import Any, Mapping
 from repro.units import Count, Ratio
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessAccounting:
     """Raw event counters for one simulation run."""
 
@@ -202,7 +202,7 @@ class AccessAccounting:
         return cls(**data)
 
 
-@dataclass
+@dataclass(slots=True)
 class WearAccounting:
     """Per-page NVM write tracking for the endurance analysis (Fig. 2c/4b).
 

@@ -25,6 +25,30 @@ class Channel:
         return f"{self.source}->{self.destination}"
 
 
+#: Interned channel objects, one per (source, destination) pair.  A
+#: transfer is charged on every migration/fault/eviction, and hashing a
+#: ``Channel`` dataclass re-hashes two enum members each time; looking
+#: the singleton up by member identity keeps the hot path in C-speed
+#: dict operations (there are at most 6 directed channels).
+_CHANNELS: dict[tuple[PageLocation, PageLocation], Channel] = {
+    (source, destination): Channel(source, destination)
+    for source in PageLocation
+    for destination in PageLocation
+    if source is not destination
+}
+
+
+def channel(source: PageLocation, destination: PageLocation) -> Channel:
+    """The interned :class:`Channel` for a (source, destination) pair.
+
+    Batched kernels hoist the channels they charge and update
+    ``DMAEngine.transfers`` directly; going through this accessor keeps
+    them pointing at the same singletons :meth:`DMAEngine.transfer_page`
+    uses, so both code paths key the transfer log identically.
+    """
+    return _CHANNELS[(source, destination)]
+
+
 @dataclass
 class DMAEngine:
     """Counts page transfers per directed channel."""
@@ -37,8 +61,9 @@ class DMAEngine:
     ) -> None:
         if source is destination:
             raise ValueError("DMA transfer requires distinct endpoints")
-        channel = Channel(source, destination)
-        self.transfers[channel] = self.transfers.get(channel, 0) + 1
+        channel = _CHANNELS[(source, destination)]
+        transfers = self.transfers
+        transfers[channel] = transfers.get(channel, 0) + 1
 
     def pages_moved(
         self,

@@ -31,7 +31,7 @@ class FrameAllocator:
 
     @property
     def full(self) -> bool:
-        return self.used >= self.capacity
+        return len(self._allocated) >= self.capacity
 
     @property
     def empty(self) -> bool:
@@ -39,17 +39,19 @@ class FrameAllocator:
 
     def allocate(self) -> int:
         """Take a free frame; raises :class:`MemoryError` when full."""
-        if self.full:
+        allocated = self._allocated
+        if len(allocated) >= self.capacity:
             raise MemoryError(
                 f"no free frames (capacity {self.capacity}); "
                 "the policy must evict before allocating"
             )
-        if self._free:
-            frame = self._free.pop()
+        free = self._free
+        if free:
+            frame = free.pop()
         else:
             frame = self._next_fresh
             self._next_fresh += 1
-        self._allocated.add(frame)
+        allocated.add(frame)
         return frame
 
     def release(self, frame: int) -> None:

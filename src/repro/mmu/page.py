@@ -13,6 +13,11 @@ class PageLocation(enum.Enum):
     NVM = "nvm"
     DISK = "disk"
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default ``hash(self._name_)`` — but runs in C.  Locations key the
+    # DMA transfer log and frame-validation dicts on the fault path.
+    __hash__ = object.__hash__
+
     @property
     def in_memory(self) -> bool:
         return self is not PageLocation.DISK
@@ -21,7 +26,7 @@ class PageLocation(enum.Enum):
         return self.value.upper()
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """Per-page state tracked by the OS.
 

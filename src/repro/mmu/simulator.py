@@ -121,6 +121,7 @@ class HybridMemorySimulator:
         validate_every: int = 0,
         inter_request_gap: float = 0.0,
         sanitize: bool | None = None,
+        batch: bool = True,
     ) -> None:
         """
         Parameters
@@ -141,6 +142,11 @@ class HybridMemorySimulator:
             asserts the bookkeeping invariants after every request.
             ``None`` defers to the ``REPRO_SANITIZE`` environment
             variable (the test suite turns it on globally).
+        batch:
+            Replay through the policy's ``access_batch`` kernel
+            (default).  ``False`` forces the per-request ``access``
+            loop — the reference path the golden-equivalence tests
+            compare against.  Results are bit-identical either way.
         """
         self.spec = spec
         self.mm = MemoryManager(spec)
@@ -154,6 +160,7 @@ class HybridMemorySimulator:
             self.policy = SanitizedPolicy(self.policy)
         self.validate_every = validate_every
         self.inter_request_gap = inter_request_gap
+        self.batch = batch
 
     def run(self, trace: Trace, warmup_fraction: float = 0.0) -> RunResult:
         """Simulate the trace and evaluate the models.
@@ -179,14 +186,27 @@ class HybridMemorySimulator:
         return self.result(workload=trace.name)
 
     def _replay(self, trace: Trace) -> None:
-        access = self.policy.access
+        # The kernel is selected once per replay — per-request code
+        # never branches on sanitize/batch/validate_every (the
+        # sanitizer, when on, substituted an instrumented policy at
+        # construction time, so even the instrumented path is a
+        # straight loop).
         if self.validate_every > 0:
+            access = self.policy.access
             validate_every = self.validate_every
             for index, (page, is_write) in enumerate(trace.iter_pairs(), 1):
                 access(page, is_write)
                 if index % validate_every == 0:
                     self.policy.validate()
+        elif self.batch:
+            # One .tolist() each: the whole span becomes native
+            # ints/bools up front, and the policy's batch kernel runs
+            # without per-request dispatch from the simulator.
+            self.policy.access_batch(
+                trace.pages.tolist(), trace.is_write.tolist()
+            )
         else:
+            access = self.policy.access
             for page, is_write in trace.iter_pairs():
                 access(page, is_write)
 
@@ -227,6 +247,7 @@ def simulate(
     inter_request_gap: float = 0.0,
     warmup_fraction: float = 0.0,
     sanitize: bool | None = None,
+    batch: bool = True,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`HybridMemorySimulator`."""
     simulator = HybridMemorySimulator(
@@ -235,5 +256,6 @@ def simulate(
         validate_every=validate_every,
         inter_request_gap=inter_request_gap,
         sanitize=sanitize,
+        batch=batch,
     )
     return simulator.run(trace, warmup_fraction=warmup_fraction)

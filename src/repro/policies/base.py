@@ -42,6 +42,29 @@ class HybridMemoryPolicy(abc.ABC):
         the request counter advanced exactly once per ``access`` call.
         """
 
+    def access_batch(self, pages: list[int], writes: list[bool]) -> None:
+        """Handle a pre-decoded span of requests (the batched kernel).
+
+        ``pages`` and ``writes`` are equal-length lists of native
+        Python ``int``/``bool`` (the simulator converts the trace's
+        numpy arrays once via ``.tolist()``).  The default
+        implementation simply loops over :meth:`access`, so every
+        policy is batch-drivable; hot policies override it with a
+        kernel that hoists bound methods out of the loop and serves
+        resident hits inline.
+
+        Overrides are bound by the same contract as :meth:`access` —
+        every request routes through ``self.mm.record_request``
+        exactly once — checked statically by lint rule R012 and at
+        runtime by the sanitizer, and proven behaviourally by the
+        golden-equivalence tests (``tests/test_batch_equivalence.py``):
+        a batch replay must produce *bit-identical* results to the
+        per-request replay.
+        """
+        access = self.access
+        for page, is_write in zip(pages, writes):
+            access(page, is_write)
+
     def validate(self) -> None:
         """Check policy-internal state against the manager's.
 

@@ -167,6 +167,105 @@ class ClockDWFPolicy(HybridMemoryPolicy):
         else:
             self._page_fault(page, is_write)
 
+    def access_batch(self, pages: list[int], writes: list[bool]) -> None:
+        """Batched kernel: hit fast paths inlined, page dispatch fused.
+
+        Bit-identical to looping over :meth:`access` (the golden
+        equivalence tests assert it).  The per-request ``location_of``
+        lookup, the clock-hit bookkeeping and the manager's
+        ``record_request`` + ``serve_hit`` accounting are inlined for
+        the two hit paths; write-triggered promotions and page faults
+        keep going through the methods (they cascade through multi-step
+        manager bookkeeping and are comparatively rare).  Commutative
+        event counters accumulate in locals and flush once per batch in
+        a ``finally`` block.  Subclasses that override ``access`` or
+        replace the NVM clock fall back to the per-request loop.
+        """
+        cls = type(self)
+        if (
+            cls.access is not ClockDWFPolicy.access
+            or type(self.nvm_clock) is not ClockReplacement
+        ):
+            super().access_batch(pages, writes)
+            return
+
+        mm = self.mm
+        record_request = mm.record_request
+        serve_hit = mm.serve_hit
+        accounting = mm.accounting
+        entries_get = mm.page_table._entries.get
+        dram_nodes = self.dram_clock._nodes
+        max_write_freq = self.dram_clock.max_write_freq
+        nvm_nodes = self.nvm_clock._nodes
+        dram_hit = self.dram_clock.hit
+        promote = self._promote
+        page_fault = self._page_fault
+        dram_location = PageLocation.DRAM
+        nvm_location = PageLocation.NVM
+
+        # Deferred (commutative) event counters, flushed after the loop.
+        read_requests = 0
+        write_requests = 0
+        dram_read_hits = 0
+        dram_write_hits = 0
+        nvm_read_hits = 0
+
+        try:
+            for page, is_write in zip(pages, writes):
+                entry = entries_get(page)
+                if entry is None:
+                    record_request(is_write)
+                    page_fault(page, is_write)
+                    continue
+                location = entry.location
+                if location is dram_location:
+                    # --- DRAM hit: clock hit + serve_hit inlined ---
+                    if is_write:
+                        node = dram_nodes[page]
+                        freq = node.write_freq + 1
+                        node.write_freq = (
+                            freq if freq < max_write_freq else max_write_freq
+                        )
+                        write_requests += 1
+                        dram_write_hits += 1
+                        if entry.copy_frame is not None:
+                            entry.copy_dirty = True
+                        entry.write_count += 1
+                        entry.dirty = True
+                    else:
+                        read_requests += 1
+                        dram_read_hits += 1
+                    entry.referenced = True
+                    entry.access_count += 1
+                elif location is nvm_location:
+                    if is_write:
+                        # NVM never answers writes: promote, then serve
+                        # in DRAM (multi-step; keep the method calls).
+                        record_request(True)
+                        promote(page)
+                        serve_hit(page, True)
+                        dram_hit(page, True)
+                    else:
+                        # --- NVM read hit: clock + serve_hit inlined ---
+                        nvm_nodes[page].referenced = True
+                        if entry.copy_frame is not None:
+                            record_request(False)
+                            serve_hit(page, False)
+                        else:
+                            read_requests += 1
+                            nvm_read_hits += 1
+                            entry.referenced = True
+                            entry.access_count += 1
+                else:
+                    record_request(is_write)
+                    page_fault(page, is_write)
+        finally:
+            accounting.read_requests += read_requests
+            accounting.write_requests += write_requests
+            accounting.dram_read_hits += dram_read_hits
+            accounting.dram_write_hits += dram_write_hits
+            accounting.nvm_read_hits += nvm_read_hits
+
     # ------------------------------------------------------------------
     def _promote(self, page: int) -> None:
         """Migrate an NVM page to DRAM on a write request."""

@@ -55,6 +55,169 @@ class SingleTierPolicy(HybridMemoryPolicy):
         self.mm.fault_fill(page, self.location, is_write)
         self.algorithm.insert(page, is_write)
 
+    def access_batch(self, pages: list[int], writes: list[bool]) -> None:
+        """Batched kernel: hit path inlined, misses through the methods.
+
+        Bit-identical to looping over :meth:`access` (asserted by the
+        golden-equivalence tests).  The manager's ``record_request`` +
+        ``serve_hit`` accounting is inlined for resident hits, with
+        commutative event counters accumulated in locals and flushed
+        once per batch in a ``finally`` block.  With the default
+        :class:`LRUReplacement` algorithm the queue's move-to-front is
+        additionally inlined (its queue carries no position windows);
+        other algorithms keep their ``hit`` call.  Subclasses that
+        override ``access`` fall back to the per-request loop.
+        """
+        cls = type(self)
+        if cls.access is not SingleTierPolicy.access:
+            super().access_batch(pages, writes)
+            return
+
+        mm = self.mm
+        record_request = mm.record_request
+        accounting = mm.accounting
+        wear = mm.wear
+        page_writes = wear.page_writes
+        entries = mm.page_table._entries
+        evict_to_disk = mm.evict_to_disk
+        fault_fill = mm.fault_fill
+        algorithm = self.algorithm
+        alg_hit = algorithm.hit
+        alg_evict = algorithm.evict
+        alg_insert = algorithm.insert
+        capacity = algorithm.capacity
+        location = self.location
+        dram_location = PageLocation.DRAM
+        # The stock LRU algorithm's hit is a plain move-to-front on a
+        # window-less queue; inline it.  Anything else (CLOCK,
+        # CLOCK-Pro, CAR, custom) keeps its hit() call.
+        queue = (
+            algorithm._queue
+            if type(algorithm) is LRUReplacement
+            and not algorithm._queue._windows
+            else None
+        )
+
+        # Deferred (commutative) event counters, flushed after the loop.
+        read_requests = 0
+        write_requests = 0
+        dram_read_hits = 0
+        dram_write_hits = 0
+        nvm_read_hits = 0
+        nvm_write_hits = 0
+        request_writes = 0
+
+        try:
+            if queue is not None:
+                nodes = queue._nodes
+                nodes_get = nodes.get
+                for page, is_write in zip(pages, writes):
+                    node = nodes_get(page)
+                    if node is None:
+                        record_request(is_write)
+                        if len(nodes) >= capacity:
+                            evict_to_disk(alg_evict())
+                        fault_fill(page, location, is_write)
+                        alg_insert(page, is_write)
+                        continue
+                    # --- LRU touch, inlined (no windows) ---
+                    if node is not queue._head:
+                        prev = node.prev
+                        nxt = node.next
+                        if prev is not None:
+                            prev.next = nxt
+                        else:
+                            queue._head = nxt
+                        if nxt is not None:
+                            nxt.prev = prev
+                        else:
+                            queue._tail = prev
+                        node.prev = None
+                        head = queue._head
+                        node.next = head
+                        if head is not None:
+                            head.prev = node
+                        queue._head = node
+                        if queue._tail is None:
+                            queue._tail = node
+                    # --- record_request + serve_hit, inlined ---
+                    entry = node.payload
+                    if entry is None:
+                        node.payload = entry = entries[page]
+                    if (
+                        entry.location is dram_location
+                        or entry.copy_frame is not None
+                    ):
+                        if is_write:
+                            write_requests += 1
+                            dram_write_hits += 1
+                            if entry.copy_frame is not None:
+                                entry.copy_dirty = True
+                            entry.write_count += 1
+                            entry.dirty = True
+                        else:
+                            read_requests += 1
+                            dram_read_hits += 1
+                    elif is_write:
+                        write_requests += 1
+                        nvm_write_hits += 1
+                        request_writes += 1
+                        page_writes[page] = page_writes.get(page, 0) + 1
+                        entry.write_count += 1
+                        entry.dirty = True
+                    else:
+                        read_requests += 1
+                        nvm_read_hits += 1
+                    entry.referenced = True
+                    entry.access_count += 1
+            else:
+                alg_contains = algorithm.__contains__
+                for page, is_write in zip(pages, writes):
+                    if not alg_contains(page):
+                        record_request(is_write)
+                        if algorithm.full:
+                            evict_to_disk(alg_evict())
+                        fault_fill(page, location, is_write)
+                        alg_insert(page, is_write)
+                        continue
+                    alg_hit(page, is_write)
+                    # --- record_request + serve_hit, inlined ---
+                    entry = entries[page]
+                    if (
+                        entry.location is dram_location
+                        or entry.copy_frame is not None
+                    ):
+                        if is_write:
+                            write_requests += 1
+                            dram_write_hits += 1
+                            if entry.copy_frame is not None:
+                                entry.copy_dirty = True
+                            entry.write_count += 1
+                            entry.dirty = True
+                        else:
+                            read_requests += 1
+                            dram_read_hits += 1
+                    elif is_write:
+                        write_requests += 1
+                        nvm_write_hits += 1
+                        request_writes += 1
+                        page_writes[page] = page_writes.get(page, 0) + 1
+                        entry.write_count += 1
+                        entry.dirty = True
+                    else:
+                        read_requests += 1
+                        nvm_read_hits += 1
+                    entry.referenced = True
+                    entry.access_count += 1
+        finally:
+            accounting.read_requests += read_requests
+            accounting.write_requests += write_requests
+            accounting.dram_read_hits += dram_read_hits
+            accounting.dram_write_hits += dram_write_hits
+            accounting.nvm_read_hits += nvm_read_hits
+            accounting.nvm_write_hits += nvm_write_hits
+            wear.request_writes += request_writes
+
     def validate(self) -> None:
         super().validate()
         self.algorithm.validate()

@@ -232,6 +232,71 @@ class TestResultCache:
 
 
 # ----------------------------------------------------------------------
+# code_version memoisation
+# ----------------------------------------------------------------------
+class TestCodeVersionMemo:
+    @pytest.fixture
+    def scratch_package(self, tmp_path, monkeypatch):
+        """A throwaway versioned tree wired in as the default root."""
+        import types
+
+        import repro.experiments.executor as executor_module
+
+        package = tmp_path / "repro"
+        (package / "trace").mkdir(parents=True)
+        (package / "__init__.py").write_text("", encoding="utf-8")
+        (package / "trace" / "mod.py").write_text("A = 1", encoding="utf-8")
+        monkeypatch.setattr(
+            executor_module, "repro",
+            types.SimpleNamespace(__file__=str(package / "__init__.py")),
+        )
+        monkeypatch.setattr(executor_module, "_code_version_memo", None)
+        return package
+
+    def test_memo_hit_on_unchanged_tree(self, scratch_package):
+        from repro.experiments import executor as executor_module
+
+        first = executor_module.code_version()
+        assert executor_module._code_version_memo is not None
+        assert executor_module.code_version() == first
+
+    def test_memo_invalidates_when_a_file_changes(self, scratch_package):
+        from repro.experiments import executor as executor_module
+
+        first = executor_module.code_version()
+        (scratch_package / "trace" / "mod.py").write_text(
+            "A = 1  # edited", encoding="utf-8")
+        assert executor_module.code_version() != first
+
+    def test_memo_invalidates_when_a_file_appears(self, scratch_package):
+        from repro.experiments import executor as executor_module
+
+        first = executor_module.code_version()
+        (scratch_package / "trace" / "extra.py").write_text(
+            "B = 2", encoding="utf-8")
+        assert executor_module.code_version() != first
+
+    def test_touch_without_change_keeps_the_version(self, scratch_package):
+        from repro.experiments import executor as executor_module
+
+        first = executor_module.code_version()
+        target = scratch_package / "trace" / "mod.py"
+        os.utime(target, ns=(1, 1))  # force a signature miss
+        assert executor_module.code_version() == first
+
+    def test_explicit_root_bypasses_the_memo(self, tmp_path):
+        from repro.experiments import executor as executor_module
+
+        package = tmp_path / "other"
+        (package / "policies").mkdir(parents=True)
+        (package / "policies" / "p.py").write_text("C = 3", encoding="utf-8")
+        before = executor_module._code_version_memo
+        version = code_version(root=package)
+        assert len(version) == 16
+        assert executor_module._code_version_memo is before
+
+
+# ----------------------------------------------------------------------
 # Runner integration
 # ----------------------------------------------------------------------
 class TestRunnerIntegration:

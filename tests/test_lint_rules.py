@@ -1,4 +1,4 @@
-"""Tests for the custom lint pass (repro.analysis rules R002-R011)."""
+"""Tests for the custom lint pass (repro.analysis rules R002-R012)."""
 
 from __future__ import annotations
 
@@ -256,6 +256,208 @@ class TestR010:
                     self.mm.serve_hit(page, is_write)
         """, select=["R001"])
         assert [f.rule_id for f in findings] == ["R010"]
+
+
+# ----------------------------------------------------------------------
+# R012 — the batched-kernel accounting contract
+# ----------------------------------------------------------------------
+class TestR012:
+    def test_deferred_counter_kernel_passes(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class FastPolicy(HybridMemoryPolicy):
+                name = "fast"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+                def access_batch(self, pages, writes):
+                    record_request = self.mm.record_request
+                    read_requests = 0
+                    write_requests = 0
+                    try:
+                        for page, is_write in zip(pages, writes):
+                            if page not in self.resident:
+                                record_request(is_write)
+                                self.fault(page, is_write)
+                                continue
+                            if is_write:
+                                write_requests += 1
+                            else:
+                                read_requests += 1
+                    finally:
+                        self.mm.accounting.read_requests += read_requests
+                        self.mm.accounting.write_requests += write_requests
+        """, select=["R012"])
+        assert findings == []
+
+    def test_delegating_loop_passes(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class PlainPolicy(HybridMemoryPolicy):
+                name = "plain"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+                def access_batch(self, pages, writes):
+                    access = self.access
+                    for page, is_write in zip(pages, writes):
+                        access(page, is_write)
+        """, select=["R012"])
+        assert findings == []
+
+    def test_unaccounted_fast_path_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class LeakyPolicy(HybridMemoryPolicy):
+                name = "leaky"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+                def access_batch(self, pages, writes):
+                    for page, is_write in zip(pages, writes):
+                        if page in self.resident:
+                            self.serve(page, is_write)
+                        else:
+                            self.mm.record_request(is_write)
+                            self.fault(page, is_write)
+        """, select=["R012"])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "R012"
+        assert "skips accounting" in findings[0].message
+
+    def test_never_accounting_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class SilentPolicy(HybridMemoryPolicy):
+                name = "silent"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+                def access_batch(self, pages, writes):
+                    for page, is_write in zip(pages, writes):
+                        self.serve(page, is_write)
+        """, select=["R012"])
+        assert len(findings) == 1
+        assert "never accounts" in findings[0].message
+
+    def test_double_accounting_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class GreedyPolicy(HybridMemoryPolicy):
+                name = "greedy"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+                def access_batch(self, pages, writes):
+                    read_requests = 0
+                    for page, is_write in zip(pages, writes):
+                        self.mm.record_request(is_write)
+                        read_requests += 1
+        """, select=["R012"])
+        assert len(findings) == 1
+        assert "more than once" in findings[0].message
+
+    def test_raising_iteration_path_exempt(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class StrictPolicy(HybridMemoryPolicy):
+                name = "strict"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+                def access_batch(self, pages, writes):
+                    for page, is_write in zip(pages, writes):
+                        if page < 0:
+                            raise ValueError(page)
+                        self.mm.record_request(is_write)
+                        self.serve(page, is_write)
+        """, select=["R012"])
+        assert findings == []
+
+    def test_flush_and_prologue_not_constrained(self, tmp_path):
+        # Accounting events outside the request loops (the hoisting
+        # prologue, the finally flush) must not count toward any path.
+        findings = _lint_snippet(tmp_path, """
+            class FlushPolicy(HybridMemoryPolicy):
+                name = "flush"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+                def access_batch(self, pages, writes):
+                    write_requests = 0
+                    try:
+                        for page, is_write in zip(pages, writes):
+                            if is_write:
+                                write_requests += 1
+                            else:
+                                self.mm.record_request(False)
+                    finally:
+                        self.mm.accounting.write_requests += write_requests
+        """, select=["R012"])
+        assert findings == []
+
+    def test_non_request_loop_ignored(self, tmp_path):
+        # A loop over internal state (not the request parameters) is
+        # not a request loop, whatever accounting it performs.
+        findings = _lint_snippet(tmp_path, """
+            class SweepPolicy(HybridMemoryPolicy):
+                name = "sweep"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+                def access_batch(self, pages, writes):
+                    for node in self.queue:
+                        node.referenced = False
+                    access = self.access
+                    for page, is_write in zip(pages, writes):
+                        access(page, is_write)
+        """, select=["R012"])
+        assert findings == []
+
+    def test_nested_inner_loop_does_not_double_count(self, tmp_path):
+        # An inner cascade loop (evictions) inside the request loop
+        # contributes no accounting; the path still counts exactly one.
+        findings = _lint_snippet(tmp_path, """
+            class CascadePolicy(HybridMemoryPolicy):
+                name = "cascade"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+                def access_batch(self, pages, writes):
+                    for page, is_write in zip(pages, writes):
+                        self.mm.record_request(is_write)
+                        while self.full():
+                            self.evict()
+        """, select=["R012"])
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            class WaivedPolicy(HybridMemoryPolicy):
+                name = "waived"
+
+                def access(self, page, is_write):
+                    self.mm.record_request(is_write)
+
+                def access_batch(self, pages, writes):
+                    for page, is_write in zip(pages, writes):  # noqa: R012
+                        self.serve(page, is_write)
+        """, select=["R012"])
+        assert findings == []
+
+    def test_shipped_kernels_pass(self):
+        root = Path(repro.__file__).parent
+        findings = lint_paths(
+            [root / "core" / "migration.py",
+             root / "policies" / "single_tier.py",
+             root / "policies" / "clock_dwf.py",
+             root / "policies" / "base.py"],
+            select=["R012"],
+        )
+        assert findings == []
 
 
 # ----------------------------------------------------------------------

@@ -74,6 +74,19 @@ class TestTrace:
         via_pairs = list(tiny_trace.iter_pairs())
         assert via_iter == via_pairs
 
+    def test_iter_pairs_yields_native_types(self, tiny_trace):
+        # The batched kernels compare and hash these values millions of
+        # times; numpy scalars would be both slower and a type leak
+        # into policy state (e.g. np.int64 keys in the page table).
+        for page, is_write in tiny_trace.iter_pairs():
+            assert type(page) is int
+            assert type(is_write) is bool
+
+    def test_iter_yields_native_types(self, tiny_trace):
+        for access in tiny_trace:
+            assert type(access.page) is int
+            assert type(access.is_write) is bool
+
     def test_equality(self, tiny_trace):
         clone = Trace(tiny_trace.pages, tiny_trace.is_write)
         assert clone == tiny_trace
