@@ -14,6 +14,10 @@ Measures the two hot loops this repository spends its CPU time in:
   :func:`repro.cpu.filter.filter_trace`, vectorized kernel vs the
   per-request reference replay, on a default (cache-thrashing) and a
   high-locality multicore trace.
+* **Observability overhead** — the batched kernels with the event bus
+  detached (``events=None``, the default) versus attached with the
+  standard sinks.  The events-off number is what the regression gate
+  floors: the bus must stay zero-overhead when disabled.
 
 Timing uses ``time.process_time()`` (container wall clocks jitter by
 2x), garbage collection is disabled around the timed region, and each
@@ -47,8 +51,12 @@ from repro.cpu.hierarchy import cotson_hierarchy
 from repro.cpu.multicore import synthesize_cpu_trace
 from repro.memory.specs import HybridMemorySpec
 from repro.mmu.simulator import HybridMemorySimulator
+from repro.obs import EventConfig
 from repro.policies.registry import policy_factory
 from repro.workloads.synthetic import zipf_workload
+
+#: Policies measured with the event bus attached vs detached.
+EVENT_POLICIES = ("proposed", "clock-dwf")
 
 #: Policies on the policy-throughput grid (the figure-4 core set).
 POLICIES = ("proposed", "clock-dwf", "dram-only", "nvm-only")
@@ -149,6 +157,32 @@ def bench_filter(fast: bool, reps: int) -> dict:
     return {"requests": requests, "results": rows}
 
 
+def bench_events(size: dict, reps: int) -> dict:
+    trace = zipf_workload(**size, seed=2016)
+    requests = len(trace)
+    rows: dict[str, dict] = {}
+    for name in EVENT_POLICIES:
+        spec = policy_spec(name, size["pages"])
+
+        def simulate(events) -> None:
+            simulator = HybridMemorySimulator(
+                spec, policy_factory(name), sanitize=False, events=events,
+            )
+            simulator.run(trace)
+
+        off = requests / best_of(lambda: simulate(None), reps)
+        on = requests / best_of(
+            lambda: simulate(EventConfig(buckets=64)), reps)
+        rows[name] = {
+            "events_off_rps": round(off),
+            "events_on_rps": round(on),
+            "overhead": round(off / on, 3),
+        }
+        print(f"  events {name:10s}  off {off/1e3:7.1f}k req/s  "
+              f"on {on/1e3:7.1f}k req/s  overhead {off / on:.2f}x")
+    return {"workload": "zipf", **size, "results": rows}
+
+
 # ----------------------------------------------------------------------
 # Regression gate
 # ----------------------------------------------------------------------
@@ -159,6 +193,8 @@ def measured_floors(payload: dict) -> dict[str, float]:
         floors[f"policy:{name}"] = row["batch_rps"]
     for label, row in payload["filter"]["results"].items():
         floors[f"filter:{label}"] = row["vectorized_aps"]
+    for name, row in payload.get("events", {}).get("results", {}).items():
+        floors[f"events-off:{name}"] = row["events_off_rps"]
     return floors
 
 
@@ -220,6 +256,8 @@ def main() -> int:
     policies = bench_policies(size, args.reps)
     print("cache filter:")
     filters = bench_filter(args.fast, args.reps)
+    print("observability overhead:")
+    events = bench_events(size, args.reps)
 
     payload = {
         "benchmark": "core-kernel-throughput",
@@ -229,6 +267,7 @@ def main() -> int:
         "cpu_count": os.cpu_count() or 1,
         "policies": policies,
         "filter": filters,
+        "events": events,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)

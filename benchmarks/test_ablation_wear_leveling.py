@@ -30,7 +30,7 @@ def test_wear_leveling(benchmark, runner, emit):
     def collect():
         results = {}
         for policy in ("nvm-only", "clock-dwf", "proposed"):
-            run = runner.run("vips", policy)
+            run = runner.submit([runner.spec_for("vips", policy)])[0]
             stream, frames = _wear_stream(run)
             raw = replay_writes(stream, frames)
             levelled = replay_writes(stream, frames, gap_write_interval=4)

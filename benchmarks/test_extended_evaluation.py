@@ -23,17 +23,20 @@ WORKLOADS = ("bodytrack", "canneal", "x264")
 
 
 def test_grand_policy_comparison(benchmark, runner, emit):
+    cells = [(workload, policy)
+             for workload in WORKLOADS for policy in POLICIES]
+
     def run_grid():
-        grid = {}
-        for workload in WORKLOADS:
-            for policy in POLICIES:
-                grid[(workload, policy)] = runner.run(workload, policy)
-        return grid
+        results = runner.submit([runner.spec_for(workload, policy)
+                                 for workload, policy in cells])
+        return dict(zip(cells, results))
 
     grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    baselines = dict(zip(WORKLOADS, runner.submit(
+        [runner.spec_for(workload, "dram-only") for workload in WORKLOADS])))
     rows = []
     for workload in WORKLOADS:
-        base = runner.run(workload, "dram-only")
+        base = baselines[workload]
         for policy in POLICIES:
             run = grid[(workload, policy)]
             rows.append((

@@ -11,12 +11,18 @@ accounting, so custom policies are automatically comparable.
 Run:  python examples/custom_policy.py
 """
 
-from repro.core.lru import LRUQueue
-from repro.experiments.report import render_table
-from repro.mmu import MemoryManager, PageLocation, simulate
-from repro.policies import HybridMemoryPolicy, policy_factory, register_policy
-from repro.memory import HybridMemorySpec
-from repro.workloads import parsec_workload
+from repro.api import (
+    HybridMemoryPolicy,
+    HybridMemorySpec,
+    LRUQueue,
+    MemoryManager,
+    PageLocation,
+    parsec_workload,
+    policy_factory,
+    register_policy,
+    render_table,
+    simulate,
+)
 
 
 class WriteTwicePolicy(HybridMemoryPolicy):

@@ -14,10 +14,7 @@ Run:  python examples/endurance_study.py
 
 import numpy as np
 
-from repro.experiments.report import render_table
-from repro.experiments.runspec import RunSpec
-from repro.memory.wear_leveling import replay_writes
-from repro.workloads import parsec_workload
+from repro.api import RunSpec, parsec_workload, render_table, replay_writes
 
 
 def main() -> None:

@@ -15,13 +15,17 @@ This example runs the substitute pipeline end to end:
 Run:  python examples/full_system_pipeline.py
 """
 
-from repro.cpu import cotson_hierarchy, filter_trace, synthesize_cpu_trace
-from repro.memory import HybridMemorySpec
-from repro.mmu import simulate
-from repro.policies import policy_factory
-from repro.experiments.report import render_table
-from repro.trace import characterize
-from repro.trace.transform import densify
+from repro.api import (
+    HybridMemorySpec,
+    characterize,
+    cotson_hierarchy,
+    densify,
+    filter_trace,
+    policy_factory,
+    render_table,
+    simulate,
+    synthesize_cpu_trace,
+)
 
 
 def main() -> None:

@@ -11,11 +11,15 @@ generations, showing how the hybrid trade-off shifts with technology.
 Run:  python examples/nvm_technology_study.py
 """
 
-from repro.experiments.report import render_table
-from repro.memory import HybridMemorySpec, pcm_spec, sttram_spec
-from repro.mmu import simulate
-from repro.policies import policy_factory
-from repro.workloads import parsec_workload
+from repro.api import (
+    HybridMemorySpec,
+    parsec_workload,
+    pcm_spec,
+    policy_factory,
+    render_table,
+    simulate,
+    sttram_spec,
+)
 
 
 def main() -> None:

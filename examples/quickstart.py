@@ -9,9 +9,7 @@ DRAM-only baseline using the paper's AMAT and APPR models.
 Run:  python examples/quickstart.py
 """
 
-from repro import parsec_workload
-from repro.experiments.report import render_table
-from repro.experiments.runspec import RunSpec
+from repro.api import RunSpec, parsec_workload, render_table
 
 
 def main() -> None:

@@ -18,15 +18,18 @@ Run:  python examples/reproduce_paper.py [--fast] [--jobs N]
 import argparse
 import time
 
-from repro.experiments.executor import (
+from repro.api import (
     DEFAULT_CACHE_DIR,
+    FIGURE_BUILDERS,
+    ExperimentRunner,
     ParallelExecutor,
     ResultCache,
+    render_figure,
+    render_table,
+    table_ii,
+    table_iii,
+    table_iv,
 )
-from repro.experiments.figures import FIGURE_BUILDERS
-from repro.experiments.report import render_figure, render_table
-from repro.experiments.runner import ExperimentRunner
-from repro.experiments.tables import table_ii, table_iii, table_iv
 
 
 def main() -> None:

@@ -9,11 +9,7 @@ it converging toward the per-workload optimum on its own.
 Run:  python examples/threshold_tuning.py
 """
 
-from repro.experiments.report import render_table
-from repro.experiments.sweep import (
-    adaptive_comparison,
-    threshold_sweep,
-)
+from repro.api import adaptive_comparison, render_table, threshold_sweep
 
 
 def main() -> None:

@@ -21,6 +21,11 @@ Commands
     Regenerate Tables II-IV.
 ``sweep``
     Run a threshold / window / DRAM-ratio sweep.
+``events``
+    Run workloads with the observability bus attached and print the
+    per-interval time series, the beneficial-migration split and an
+    exact end-of-run reconstruction check; ``--events PATH`` dumps the
+    raw JSONL streams.
 ``lint``
     Run the project-specific static-analysis rules (R002-R012,
     including the dataflow-based units and typestate checks) over
@@ -28,15 +33,24 @@ Commands
 ``profile``
     cProfile one (workload, policy) run — workload rendering excluded
     from the profile — and print the hottest functions.
+
+The grid commands (``run``, ``figure``, ``claims``, ``sweep``,
+``events``, ``profile``) share one flag vocabulary via a common
+argparse parent: ``--jobs``, ``--cache``/``--no-cache``,
+``--cache-dir``, ``--progress``, ``--sanitize``, ``--events PATH`` and
+``--seed`` mean the same thing everywhere they appear.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Sequence
+from pathlib import Path
+from typing import Iterable, Sequence
 
 from repro.analysis.cli import list_rules, run_lint
+from repro.analysis.sanitizer import SANITIZE_ENV
 from repro.experiments.claims import claims_hold, verify_claims
 from repro.experiments.executor import (
     DEFAULT_CACHE_DIR,
@@ -49,13 +63,24 @@ from repro.experiments.runner import CORE_POLICIES, ExperimentRunner
 from repro.experiments.runspec import RunSpec
 from repro.experiments.sweep import dram_ratio_sweep, threshold_sweep, window_sweep
 from repro.experiments.tables import table_ii, table_iii, table_iv
+from repro.memory.accounting import AccessAccounting
+from repro.memory.endurance import compute_nvm_writes
+from repro.memory.metrics import compute_performance
+from repro.memory.power import compute_power
 from repro.memory.specs import HybridMemorySpec
-from repro.mmu.simulator import simulate
+from repro.mmu.simulator import RunResult, simulate
+from repro.obs.config import EventConfig
+from repro.obs.summary import EventSummary
 from repro.policies.registry import available_policies, policy_factory
 from repro.trace.io import load_trace, read_text_trace
 from repro.trace.stats import characterize
 from repro.trace.trace import Trace
-from repro.workloads.parsec import PROFILES, WORKLOAD_NAMES, parsec_workload
+from repro.workloads.parsec import (
+    DEFAULT_REQUEST_SCALE,
+    PROFILES,
+    WORKLOAD_NAMES,
+    parsec_workload,
+)
 
 
 def _load_trace(path: str) -> Trace:
@@ -164,10 +189,18 @@ def _cmd_simulate(args) -> int:
 
 
 def _executor_from(args) -> ParallelExecutor:
-    """Build the executor the grid commands share (--jobs/--cache)."""
-    cache = None
-    if getattr(args, "cache", True):
-        cache = ResultCache(getattr(args, "cache_dir", DEFAULT_CACHE_DIR))
+    """Build the executor the grid commands share (--jobs/--cache).
+
+    ``--sanitize`` is applied here as the ``REPRO_SANITIZE``
+    environment default, which the simulator reads in-process and
+    worker processes inherit.  ``--cache``/``--no-cache`` override the
+    command's own default (``cache_default``, set per subcommand).
+    """
+    if getattr(args, "sanitize", False):
+        os.environ[SANITIZE_ENV] = "1"
+    enabled = (args.cache if args.cache is not None
+               else getattr(args, "cache_default", False))
+    cache = ResultCache(args.cache_dir) if enabled else None
     progress = None
     if getattr(args, "progress", False):
         def progress(done: int, total: int, spec) -> None:
@@ -175,12 +208,55 @@ def _executor_from(args) -> ParallelExecutor:
     return ParallelExecutor(jobs=args.jobs, cache=cache, progress=progress)
 
 
+def _event_config(args) -> EventConfig | None:
+    """The event collection the shared ``--events PATH`` flag implies."""
+    if not getattr(args, "events", None):
+        return None
+    return EventConfig(trace=True)
+
+
+def _write_event_traces(
+    path_arg: str,
+    pairs: Iterable[tuple[RunSpec, EventSummary | None]],
+) -> None:
+    """Dump collected JSONL event streams under ``--events PATH``.
+
+    A single stream with a ``.jsonl`` destination is written to that
+    file; otherwise ``PATH`` is a directory and each run gets
+    ``{workload}-{policy}-{digest}.jsonl``.
+    """
+    traced = [(spec, summary) for spec, summary in pairs
+              if summary is not None and summary.trace_lines]
+    if not traced:
+        print("no event traces collected (events were not enabled "
+              "with trace capture)", file=sys.stderr)
+        return
+    path = Path(path_arg)
+    if len(traced) == 1 and path.suffix == ".jsonl":
+        targets = [path]
+    else:
+        path.mkdir(parents=True, exist_ok=True)
+        targets = [
+            path / f"{spec.workload}-{spec.policy}-{spec.digest()[:8]}.jsonl"
+            for spec, _ in traced
+        ]
+    for (spec, summary), target in zip(traced, targets):
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as stream:
+            for line in summary.trace_lines:
+                stream.write(line)
+                stream.write("\n")
+        print(f"wrote {len(summary.trace_lines):,} events "
+              f"({spec.label()}) to {target}")
+
+
 def _cmd_run(args) -> int:
     executor = _executor_from(args)
     workloads = args.workload or list(WORKLOAD_NAMES)
     policies = args.policy or list(CORE_POLICIES)
     specs = [
-        RunSpec.core(workload, policy, seed=args.seed)
+        RunSpec.core(workload, policy, seed=args.seed,
+                     events=_event_config(args))
         for workload in workloads
         for policy in policies
     ]
@@ -207,11 +283,15 @@ def _cmd_run(args) -> int:
     stats = executor.stats
     print(f"\nsimulated {stats.simulated}, cache hits {stats.cache_hits}, "
           f"cache misses {stats.cache_misses}")
+    if args.events:
+        _write_event_traces(args.events, zip(specs, (r.events
+                                                     for r in results)))
     return 0
 
 
 def _cmd_figure(args) -> int:
-    runner = ExperimentRunner(seed=args.seed, executor=_executor_from(args))
+    runner = ExperimentRunner(seed=args.seed, executor=_executor_from(args),
+                              events=_event_config(args))
     if args.id == "all":
         ids: Sequence[str] = sorted(FIGURE_BUILDERS)
     elif args.id in FIGURE_BUILDERS:
@@ -225,6 +305,9 @@ def _cmd_figure(args) -> int:
         if index:
             print()
         print(render_figure(FIGURE_BUILDERS[figure_id](runner)))
+    if args.events:
+        _write_event_traces(args.events,
+                            runner.executor.collected_events())
     return 0
 
 
@@ -255,7 +338,8 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_claims(args) -> int:
-    runner = ExperimentRunner(seed=args.seed, executor=_executor_from(args))
+    runner = ExperimentRunner(seed=args.seed, executor=_executor_from(args),
+                              events=_event_config(args))
     results = verify_claims(runner)
     print(render_table(
         ["id", "ok", "claim", "paper", "measured"],
@@ -268,6 +352,9 @@ def _cmd_claims(args) -> int:
     ))
     passed = sum(1 for r in results if r.holds)
     print(f"\n{passed}/{len(results)} claims hold")
+    if args.events:
+        _write_event_traces(args.events,
+                            runner.executor.collected_events())
     return 0 if claims_hold(results) else 1
 
 
@@ -281,7 +368,10 @@ def _cmd_profile(args) -> int:
     import cProfile
     import pstats
 
-    spec = RunSpec.core(args.workload, args.policy, seed=args.seed)
+    if args.sanitize:
+        os.environ[SANITIZE_ENV] = "1"
+    spec = RunSpec.core(args.workload, args.policy, seed=args.seed,
+                        events=_event_config(args))
     # Render outside the profiled region: trace synthesis is numpy-bound
     # and would drown out the simulation kernel we care about.
     instance = spec.render()
@@ -294,17 +384,23 @@ def _cmd_profile(args) -> int:
     print(f"profiled {spec.label()}: {requests:,} requests\n")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.events:
+        _write_event_traces(args.events, [(spec, result.events)])
     return 0
 
 
 def _cmd_sweep(args) -> int:
     executor = _executor_from(args)
+    events = _event_config(args)
     if args.kind == "threshold":
-        points = threshold_sweep(args.workload, executor=executor)
+        points = threshold_sweep(args.workload, seed=args.seed,
+                                 executor=executor, events=events)
     elif args.kind == "window":
-        points = window_sweep(args.workload, executor=executor)
+        points = window_sweep(args.workload, seed=args.seed,
+                              executor=executor, events=events)
     else:
-        points = dram_ratio_sweep(args.workload, executor=executor)
+        points = dram_ratio_sweep(args.workload, seed=args.seed,
+                                  executor=executor, events=events)
     print(render_table(
         [points[0].parameter, "memory time (ns)", "APPR (nJ)",
          "promotions", "demotions", "NVM writes"],
@@ -316,7 +412,103 @@ def _cmd_sweep(args) -> int:
         ],
         title=f"{args.kind} sweep on {args.workload}",
     ))
+    if args.events:
+        _write_event_traces(args.events, executor.collected_events())
     return 0
+
+
+def _reconstruct(result: RunResult) -> tuple[bool, str]:
+    """Re-derive the end-of-run metrics from the interval deltas.
+
+    The aggregator's per-interval accounting deltas must sum back to
+    the run's final counters bit-for-bit, and the paper models
+    re-evaluated on that sum must equal the run's own AMAT/APPR/wear —
+    the ``repro events`` acceptance check.
+    """
+    summary = result.events
+    assert summary is not None
+    totals: dict[str, int] = {}
+    wear_totals: dict[str, int] = {}
+    for row in summary.series:
+        for name, value in row.accounting.items():
+            totals[name] = totals.get(name, 0) + value
+        for name in ("fault_fill_writes", "migration_writes",
+                     "request_writes"):
+            wear_totals[name] = wear_totals.get(name, 0) + row.wear[name]
+    if totals != result.accounting.snapshot():
+        return False, "interval accounting deltas != final counters"
+    accounting = AccessAccounting(**totals)
+    performance = compute_performance(accounting, result.spec)
+    power = compute_power(accounting, result.spec, performance,
+                          inter_request_gap=summary.inter_request_gap)
+    nvm_writes = compute_nvm_writes(accounting, result.spec)
+    checks = [
+        ("AMAT", performance.amat, result.performance.amat),
+        ("APPR", power.appr, result.power.appr),
+        ("NVM writes", nvm_writes.total, result.nvm_writes.total),
+    ]
+    for name, rebuilt, final in checks:
+        if rebuilt != final:
+            return False, f"{name}: rebuilt {rebuilt!r} != final {final!r}"
+    for name, value in wear_totals.items():
+        if value != getattr(result.wear, name):
+            return False, (f"wear {name}: rebuilt {value} != "
+                           f"final {getattr(result.wear, name)}")
+    return True, (f"AMAT {performance.amat * 1e9:.3f} ns, "
+                  f"APPR {power.appr * 1e9:.3f} nJ, "
+                  f"NVM writes {nvm_writes.total:,}")
+
+
+def _cmd_events(args) -> int:
+    executor = _executor_from(args)
+    policies = args.policy or ["clock-dwf", "proposed"]
+    config = EventConfig(buckets=args.intervals, trace=bool(args.events))
+    specs = [
+        RunSpec.core(args.workload, policy, seed=args.seed,
+                     request_scale=args.request_scale, events=config)
+        for policy in policies
+    ]
+    results = executor.submit(specs)
+    status = 0
+    for ordinal, (spec, result) in enumerate(zip(specs, results)):
+        summary = result.events
+        if summary is None:
+            print(f"{spec.label()}: no event summary collected",
+                  file=sys.stderr)
+            status = 1
+            continue
+        if ordinal:
+            print()
+        print(render_table(
+            ["interval", "requests", "AMAT (ns)", "APPR (nJ)",
+             "NVM writes", "promotions", "demotions", "faults"],
+            [
+                (f"{row.start:,}-{row.end:,}", f"{row.requests:,}",
+                 f"{row.amat * 1e9:.1f}", f"{row.appr * 1e9:.2f}",
+                 f"{row.nvm_writes:,}", f"{row.migrations_to_dram:,}",
+                 f"{row.migrations_to_nvm:,}", f"{row.page_faults:,}")
+                for row in summary.series
+            ],
+            title=f"{spec.label()}: {len(summary.series)} intervals of "
+                  f"{summary.interval:,} requests",
+        ))
+        ledger = summary.migrations
+        if ledger is not None and ledger.promotions:
+            print(f"promotions {ledger.promotions:,}: "
+                  f"{ledger.beneficial:,} beneficial / "
+                  f"{ledger.non_beneficial:,} non-beneficial "
+                  f"({ledger.beneficial_ratio:.1%}), "
+                  f"wasted {ledger.wasted_seconds * 1e6:.2f} us")
+        ok, detail = _reconstruct(result)
+        if ok:
+            print(f"reconstruction: exact ({detail})")
+        else:
+            print(f"reconstruction: FAILED ({detail})")
+            status = 1
+    if args.events:
+        _write_event_traces(args.events, zip(specs, (r.events
+                                                     for r in results)))
+    return status
 
 
 # ----------------------------------------------------------------------
@@ -351,27 +543,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="assert simulation invariants after every request")
     p.set_defaults(func=_cmd_simulate)
 
-    def add_executor_args(parser, cache_default: bool) -> None:
-        parser.add_argument(
-            "--jobs", type=int, default=None, metavar="N",
-            help="worker processes (default: all CPUs)")
-        parser.add_argument(
-            "--cache", dest="cache", action="store_true",
-            default=cache_default,
-            help="persist results under the cache directory"
-                 + (" (default)" if cache_default else ""))
-        parser.add_argument(
-            "--no-cache", dest="cache", action="store_false",
-            help="disable the persistent result cache")
-        parser.add_argument(
-            "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
-            help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
-        parser.add_argument(
-            "--progress", action="store_true",
-            help="print per-run progress to stderr")
+    # One flag vocabulary for every grid command; a command's own
+    # cache preference goes through ``cache_default`` so that
+    # --cache/--no-cache stay explicit overrides everywhere.
+    grid = argparse.ArgumentParser(add_help=False)
+    grid.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all CPUs)")
+    grid.add_argument(
+        "--cache", dest="cache", action="store_true", default=None,
+        help="persist results under the cache directory")
+    grid.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="disable the persistent result cache")
+    grid.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
+    grid.add_argument(
+        "--progress", action="store_true",
+        help="print per-run progress to stderr")
+    grid.add_argument(
+        "--sanitize", action="store_true",
+        help="assert simulation invariants during every run")
+    grid.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="collect event streams and write JSONL trace(s) to PATH "
+             "(a .jsonl file for a single run, else a directory)")
+    grid.add_argument("--seed", type=int, default=2016)
 
     p = sub.add_parser(
-        "run",
+        "run", parents=[grid],
         help="execute a workload x policy grid through the parallel "
              "executor")
     p.add_argument("--workload", action="append",
@@ -380,47 +581,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", action="append", metavar="NAME",
                    help="policy(ies) to run (repeatable; default: the "
                         "four core policies)")
-    p.add_argument("--seed", type=int, default=2016)
-    add_executor_args(p, cache_default=True)
-    p.set_defaults(func=_cmd_run)
+    p.set_defaults(func=_cmd_run, cache_default=True)
 
-    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p = sub.add_parser("figure", parents=[grid],
+                       help="regenerate a paper figure")
     p.add_argument("id", help="fig1, fig2a..fig4c, or 'all'")
-    p.add_argument("--seed", type=int, default=2016)
-    add_executor_args(p, cache_default=False)
-    p.set_defaults(func=_cmd_figure)
+    p.set_defaults(func=_cmd_figure, cache_default=False)
 
     p = sub.add_parser("tables", help="regenerate Tables II-IV")
     p.add_argument("--seed", type=int, default=2016)
     p.set_defaults(func=_cmd_tables)
 
-    p = sub.add_parser("claims",
+    p = sub.add_parser("claims", parents=[grid],
                        help="audit every paper claim against the "
                             "regenerated figures")
-    p.add_argument("--seed", type=int, default=2016)
-    add_executor_args(p, cache_default=False)
-    p.set_defaults(func=_cmd_claims)
+    p.set_defaults(func=_cmd_claims, cache_default=False)
 
-    p = sub.add_parser("sweep", help="parameter sweep")
+    p = sub.add_parser("sweep", parents=[grid], help="parameter sweep")
     p.add_argument("kind", choices=("threshold", "window", "dram-ratio"))
     p.add_argument("--workload", default="raytrace",
                    choices=list(WORKLOAD_NAMES))
-    add_executor_args(p, cache_default=False)
-    p.set_defaults(func=_cmd_sweep)
+    p.set_defaults(func=_cmd_sweep, cache_default=False)
 
     p = sub.add_parser(
-        "profile",
+        "events", parents=[grid],
+        help="per-interval event-stream report: time series, "
+             "beneficial-migration split, exact reconstruction check")
+    p.add_argument("workload", choices=list(WORKLOAD_NAMES))
+    p.add_argument("--policy", action="append", metavar="NAME",
+                   help="policy(ies) to observe (repeatable; default: "
+                        "clock-dwf and proposed)")
+    p.add_argument("--intervals", type=int, default=16, metavar="N",
+                   help="number of time-series buckets (default: 16)")
+    p.add_argument("--request-scale", type=float,
+                   default=DEFAULT_REQUEST_SCALE, metavar="F",
+                   help="workload request-count scale (default: "
+                        f"{DEFAULT_REQUEST_SCALE:g})")
+    p.set_defaults(func=_cmd_events, cache_default=False)
+
+    p = sub.add_parser(
+        "profile", parents=[grid],
         help="cProfile one (workload, policy) run and print hot spots")
     p.add_argument("--workload", default="dedup",
                    choices=list(WORKLOAD_NAMES))
     p.add_argument("--policy", default="proposed")
-    p.add_argument("--seed", type=int, default=2016)
     p.add_argument("--sort", default="cumulative",
                    choices=("cumulative", "tottime", "calls"),
                    help="pstats sort order (default: cumulative)")
     p.add_argument("--top", type=int, default=25, metavar="N",
                    help="number of rows to print (default: 25)")
-    p.set_defaults(func=_cmd_profile)
+    p.set_defaults(func=_cmd_profile, cache_default=False)
 
     p = sub.add_parser(
         "lint",

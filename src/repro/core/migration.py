@@ -25,6 +25,7 @@ from repro.core.lru import LRUNode, LRUQueue
 from repro.mmu.dma import channel as _dma_channel
 from repro.mmu.manager import MemoryManager
 from repro.mmu.page import PageLocation, PageTableEntry
+from repro.obs.events import EvictionEvent, MigrationEvent, PageFaultEvent
 from repro.policies.base import HybridMemoryPolicy
 
 
@@ -110,6 +111,15 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
         state (page-table entries, LRU nodes, the wear histogram) is
         updated in place, exactly as the per-request path would.
 
+        When an event bus is attached the kernel keeps its clock in
+        step: before any call-out that can tick the clock or emit
+        (manager fallbacks, :meth:`_promote`) the deferred request
+        counts are folded into ``bus.clock`` (tracked by ``synced``),
+        the inlined fault cascade appends its eviction/demotion/fault
+        events directly with explicitly computed indexes, and the
+        ``finally`` block folds the remainder — so the event stream is
+        byte-identical to the per-request path's.
+
         Promotions keep going through :meth:`_promote` — they are rare
         and carry multi-step bookkeeping — and the subclass hooks
         ``_on_promoted``/``_on_demoted`` are always honoured.  Hooks
@@ -191,6 +201,10 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
         nvm_location = PageLocation.NVM
         make_node = LRUNode
         make_entry = PageTableEntry
+        bus = mm.events
+        # Requests already folded into the bus clock; the deferred
+        # request counters minus this are the kernel's clock debt.
+        synced = 0
 
         # Deferred (commutative) event counters, flushed after the loop.
         read_requests = 0
@@ -256,6 +270,9 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
                         entry.referenced = True
                         entry.access_count += 1
                     else:
+                        if bus is not None:
+                            bus.clock += read_requests + write_requests - synced
+                            synced = read_requests + write_requests
                         record_request(is_write)
                         serve_hit(page, is_write)
                     continue
@@ -263,6 +280,9 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
                 if node is None:
                     # --- page fault: the Algorithm 1 lines 27-28 cascade ---
                     if not fast_faults:
+                        if bus is not None:
+                            bus.clock += read_requests + write_requests - synced
+                            synced = read_requests + write_requests
                         record_request(is_write)
                         page_fault(page, is_write)
                         read_threshold = self.read_threshold
@@ -305,6 +325,19 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
                                 dirty_evictions += 1
                             else:
                                 clean_evictions += 1
+                            if bus is not None:
+                                # The faulting request is not in the
+                                # deferred counters yet; +1 puts the
+                                # event on the per-request clock.
+                                bus._pending.append(EvictionEvent(
+                                    index=(bus.clock + read_requests
+                                           + write_requests - synced + 1),
+                                    page=tail_page,
+                                    from_dram=False,
+                                    dirty=eentry.dirty,
+                                    access_count=eentry.access_count,
+                                    write_count=eentry.write_count,
+                                ))
                         # dram_lru.pop_lru(), inlined (no windows).
                         dtail = dram._tail
                         victim_page = dtail.page
@@ -339,6 +372,15 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
                         page_writes[victim_page] = (
                             page_writes.get(victim_page, 0) + page_factor
                         )
+                        if bus is not None:
+                            bus._pending.append(MigrationEvent(
+                                index=(bus.clock + read_requests
+                                       + write_requests - synced + 1),
+                                page=victim_page,
+                                to_dram=False,
+                                access_count=mentry.access_count,
+                                write_count=mentry.write_count,
+                            ))
                         # nvm_lru.push_front(victim_page), inlined with
                         # both windows' _after_push_front.
                         vnode = make_node(victim_page)
@@ -400,6 +442,16 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
                         read_requests += 1
                         read_faults += 1
                     faults_filled_dram += 1
+                    if bus is not None:
+                        # The faulting request just entered the deferred
+                        # counters, so the in-flight index needs no +1.
+                        bus._pending.append(PageFaultEvent(
+                            index=(bus.clock + read_requests
+                                   + write_requests - synced),
+                            page=page,
+                            to_dram=True,
+                            is_write=is_write,
+                        ))
                     # dram_lru.push_front(page), inlined (no windows).
                     fnode = make_node(page)
                     fnode.payload = entry
@@ -473,6 +525,9 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
                 if entry is None:
                     node.payload = entry = entries[page]
                 if entry.location is dram_location or entry.copy_frame is not None:
+                    if bus is not None:
+                        bus.clock += read_requests + write_requests - synced
+                        synced = read_requests + write_requests
                     record_request(is_write)
                     serve_hit(page, is_write)
                 elif is_write:
@@ -495,6 +550,11 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
                         node.write_counter + 1 if was_inside else 1
                     )
                     if counter > write_threshold:
+                        if bus is not None:
+                            bus.clock += (
+                                read_requests + write_requests - synced
+                            )
+                            synced = read_requests + write_requests
                         promote(page, trigger_is_write=True)
                         read_threshold = self.read_threshold
                         write_threshold = self.write_threshold
@@ -503,10 +563,17 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
                         node.read_counter + 1 if was_inside else 1
                     )
                     if counter > read_threshold:
+                        if bus is not None:
+                            bus.clock += (
+                                read_requests + write_requests - synced
+                            )
+                            synced = read_requests + write_requests
                         promote(page, trigger_is_write=False)
                         read_threshold = self.read_threshold
                         write_threshold = self.write_threshold
         finally:
+            if bus is not None:
+                bus.clock += read_requests + write_requests - synced
             accounting.read_requests += read_requests
             accounting.write_requests += write_requests
             accounting.dram_read_hits += dram_read_hits
@@ -562,6 +629,20 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
 
     def _promote(self, page: int, trigger_is_write: bool) -> None:
         """Migrate a hot NVM page to DRAM, demoting DRAM's LRU victim."""
+        events = self.mm.events
+        if events is not None:
+            # Stage the trigger context (which counter crossed which
+            # threshold) before the node leaves the queue; the
+            # migration emitted below picks it up.
+            node = self.nvm_lru.node(page)
+            if trigger_is_write:
+                events.annotate(
+                    "write", node.write_counter, self.write_threshold
+                )
+            else:
+                events.annotate(
+                    "read", node.read_counter, self.read_threshold
+                )
         self.nvm_lru.remove(page)
         if self.mm.has_free(PageLocation.DRAM):
             self.mm.migrate(page, PageLocation.DRAM)

@@ -33,6 +33,7 @@ from typing import Callable, Sequence
 import repro
 from repro.experiments.runspec import RunSpec
 from repro.mmu.simulator import RunResult
+from repro.obs.summary import EventSummary
 from repro.workloads.parsec import WorkloadInstance
 
 #: Default location of the persistent result cache.
@@ -41,7 +42,7 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: Packages whose source determines simulation results; a change in any
 #: of them invalidates every cached result.
 _VERSIONED_SUBPACKAGES = (
-    "trace", "workloads", "memory", "mmu", "core", "policies",
+    "trace", "workloads", "memory", "mmu", "core", "policies", "obs",
 )
 _VERSIONED_MODULES = ("experiments/runspec.py",)
 
@@ -267,6 +268,10 @@ class ParallelExecutor:
         self.retries = retries
         self.start_method = start_method
         self.stats = ExecutorStats()
+        #: Event summaries of every completed event-bearing spec (the
+        #: summaries ride on RunResult, so cache hits and worker-pool
+        #: results land here alike).
+        self.event_summaries: dict[RunSpec, "EventSummary"] = {}
 
     # ------------------------------------------------------------------
     def submit(self, specs: Sequence[RunSpec]) -> list[RunResult]:
@@ -289,6 +294,8 @@ class ParallelExecutor:
         def _completed(spec: RunSpec, result: RunResult) -> None:
             nonlocal done
             results[spec] = result
+            if result.events is not None:
+                self.event_summaries[spec] = result.events
             done += 1
             if self.progress is not None:
                 self.progress(done, total, spec)
@@ -352,6 +359,17 @@ class ParallelExecutor:
             self.stats.failures += len(failures)
             raise ExecutorError(failures, results)
         return [results[spec] for spec in specs]
+
+    # ------------------------------------------------------------------
+    def collected_events(self) -> list[tuple[RunSpec, "EventSummary"]]:
+        """Event summaries collected so far, in deterministic order.
+
+        Sorted by :meth:`RunSpec.key`, so serial and ``jobs=N`` runs
+        (and cache-hit replays) report identical sequences.
+        """
+        return sorted(
+            self.event_summaries.items(), key=lambda item: item[0].key()
+        )
 
     # ------------------------------------------------------------------
     def _run_with_retries(

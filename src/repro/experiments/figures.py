@@ -17,14 +17,27 @@ corresponding paper panel:
 * **Fig. 2c / 4b** — physical NVM writes normalised to the NVM-only
   memory (page-fault fills vs migrations vs served write requests).
 
-Every figure ends with the paper's G-Mean and A-Mean bars.
+Every paper figure ends with the G-Mean and A-Mean bars.
+
+Beyond the paper, two observability figures derive from the event
+stream (:mod:`repro.obs`) instead of the end-of-run counters:
+
+* **timeline** — per-interval promotions on one workload, split into
+  beneficial and non-beneficial (the Fig. 2/3 criterion, resolved over
+  time); the leading bar is the whole-run total.
+* **timeline-cost** — the cumulative latency cost of the
+  non-beneficial promotions over the same intervals.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.experiments.results import FigureData, WorkloadRuns
 from repro.experiments.runner import ExperimentRunner
 from repro.mmu.simulator import RunResult
+from repro.obs.config import EventConfig
+from repro.obs.summary import EventSummary
 
 
 def _grid(runner: ExperimentRunner,
@@ -206,6 +219,104 @@ def figure_4b(runner: ExperimentRunner) -> FigureData:
     return figure
 
 
+# ----------------------------------------------------------------------
+# Event-stream timeline figures (beyond the paper)
+# ----------------------------------------------------------------------
+#: The workload / interval count the timeline figures observe.
+TIMELINE_WORKLOAD = "canneal"
+TIMELINE_BUCKETS = 12
+TIMELINE_POLICIES = ("clock-dwf", "proposed")
+
+
+def _timeline_summaries(
+    runner: ExperimentRunner,
+) -> dict[str, EventSummary]:
+    """Event summaries for the timeline policies (one batch).
+
+    The specs are the runner's own grid cells with an
+    :class:`EventConfig` attached; the event-bearing runs have their
+    own cache identity, so they coexist with the plain figure grid.
+    """
+    config = EventConfig(buckets=TIMELINE_BUCKETS)
+    specs = [
+        replace(runner.spec_for(TIMELINE_WORKLOAD, policy), events=config)
+        for policy in TIMELINE_POLICIES
+    ]
+    results = runner.submit(specs)
+    summaries: dict[str, EventSummary] = {}
+    for policy, result in zip(TIMELINE_POLICIES, results):
+        if result.events is None:
+            raise RuntimeError(
+                f"run {policy!r} returned no event summary")
+        summaries[policy] = result.events
+    return summaries
+
+
+def figure_timeline(runner: ExperimentRunner) -> FigureData:
+    """Beneficial vs non-beneficial promotions over time.
+
+    One group per policy; the first bar (labelled with the workload)
+    is the whole-run split, followed by one bar per interval.
+    """
+    figure = FigureData(
+        figure_id="timeline",
+        title=f"Promotions over Time on {TIMELINE_WORKLOAD} "
+              "(Beneficial vs Non-Beneficial)",
+        ylabel="Promotions per Interval",
+        series_order=("Beneficial", "Non-beneficial"),
+    )
+    for policy, summary in _timeline_summaries(runner).items():
+        ledger = summary.migrations
+        if ledger is None:
+            continue
+        figure.add_bar(
+            TIMELINE_WORKLOAD, group=policy,
+            **{"Beneficial": float(ledger.beneficial),
+               "Non-beneficial": float(ledger.non_beneficial)},
+        )
+        rows = {row.index: row for row in ledger.by_interval}
+        for bucket in range(len(summary.series)):
+            row = rows.get(bucket)
+            figure.add_bar(
+                f"t{bucket + 1:02d}", group=policy,
+                **{"Beneficial": float(row.beneficial if row else 0),
+                   "Non-beneficial":
+                       float(row.non_beneficial if row else 0)},
+            )
+    return figure
+
+
+def figure_timeline_cost(runner: ExperimentRunner) -> FigureData:
+    """Cumulative cost of the non-beneficial promotions over time.
+
+    Each interval bar is the latency wasted on promotions whose DRAM
+    hits never covered their migration cost, accumulated up to that
+    interval; the leading workload-labelled bar is the end-of-run
+    total.
+    """
+    figure = FigureData(
+        figure_id="timeline-cost",
+        title=f"Cumulative Non-Beneficial Migration Cost on "
+              f"{TIMELINE_WORKLOAD}",
+        ylabel="Wasted Latency (us)",
+        series_order=("Wasted",),
+    )
+    for policy, summary in _timeline_summaries(runner).items():
+        ledger = summary.migrations
+        if ledger is None:
+            continue
+        figure.add_bar(TIMELINE_WORKLOAD, group=policy,
+                       Wasted=ledger.wasted_seconds * 1e6)
+        rows = {row.index: row for row in ledger.by_interval}
+        cumulative = 0.0
+        for bucket in range(len(summary.series)):
+            row = rows.get(bucket)
+            cumulative += row.wasted_seconds if row else 0.0
+            figure.add_bar(f"t{bucket + 1:02d}", group=policy,
+                           Wasted=cumulative * 1e6)
+    return figure
+
+
 #: Figure registry for the CLI/bench harness.
 FIGURE_BUILDERS = {
     "fig1": figure_1,
@@ -215,6 +326,8 @@ FIGURE_BUILDERS = {
     "fig4a": figure_4a,
     "fig4b": figure_4b,
     "fig4c": figure_4c,
+    "timeline": figure_timeline,
+    "timeline-cost": figure_timeline_cost,
 }
 
 

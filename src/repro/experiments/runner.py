@@ -10,15 +10,18 @@ persistent disk cache), and memoises the merged results in-process so
 every figure derives from the same run objects.
 
 ``ExperimentRunner.run(workload, policy)`` keeps its historical
-signature as a thin shim over ``submit``.
+signature as a deprecated shim over ``submit``.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.experiments.executor import ParallelExecutor, ResultCache
 from repro.experiments.results import WorkloadRuns
 from repro.experiments.runspec import RunSpec
 from repro.mmu.simulator import RunResult
+from repro.obs.config import EventConfig
 from repro.workloads.parsec import (
     DEFAULT_FOOTPRINT_SCALE,
     DEFAULT_REQUEST_SCALE,
@@ -46,6 +49,9 @@ class ExperimentRunner:
         ``None`` (in-memory memoisation only).
     executor:
         A fully-configured executor; overrides ``jobs``/``cache``.
+    events:
+        Event-stream collection config attached to every spec the
+        runner builds (``None`` keeps the observability bus detached).
     """
 
     def __init__(
@@ -57,11 +63,13 @@ class ExperimentRunner:
         jobs: int = 1,
         cache: ResultCache | None = None,
         executor: ParallelExecutor | None = None,
+        events: EventConfig | None = None,
     ) -> None:
         self.request_scale = request_scale
         self.footprint_scale = footprint_scale
         self.seed = seed
         self.workload_names = workloads
+        self.events = events
         self.executor = executor or ParallelExecutor(jobs=jobs, cache=cache)
         self._instances: dict[str, WorkloadInstance] = {}
         self._runs: dict[RunSpec, RunResult] = {}
@@ -92,6 +100,7 @@ class ExperimentRunner:
             request_scale=self.request_scale,
             footprint_scale=self.footprint_scale,
             seed=self.seed,
+            events=self.events,
         )
 
     def submit(self, specs: list[RunSpec]) -> list[RunResult]:
@@ -111,10 +120,20 @@ class ExperimentRunner:
     def run(self, workload_name: str, policy_name: str) -> RunResult:
         """Simulate one policy on one workload (cached).
 
-        Deprecation shim: the historical cell-at-a-time entry point,
-        now a one-spec ``submit``.  Grid consumers should batch through
-        :meth:`grid`/:meth:`runs_for` so cells run concurrently.
+        .. deprecated::
+            The historical cell-at-a-time entry point.  Build a spec
+            with :meth:`spec_for` (or :meth:`RunSpec.core`) and go
+            through :meth:`submit`/:meth:`RunSpec.execute`, or batch
+            through :meth:`grid`/:meth:`runs_for` so cells fan out
+            together.
         """
+        warnings.warn(
+            "ExperimentRunner.run() is deprecated; build a RunSpec "
+            "(spec_for/RunSpec.core) and use submit()/RunSpec.execute() "
+            "so runs batch through the executor",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.submit([self.spec_for(workload_name, policy_name)])[0]
 
     def runs_for(self, workload_name: str,

@@ -26,6 +26,7 @@ from typing import Any, Callable, Mapping
 
 from repro.memory.specs import HybridMemorySpec
 from repro.mmu.simulator import HybridMemorySimulator, PolicyFactory, RunResult
+from repro.obs.config import EventConfig
 from repro.policies.registry import policy_factory
 from repro.workloads.parsec import (
     DEFAULT_FOOTPRINT_SCALE,
@@ -98,6 +99,12 @@ class RunSpec:
     warmup_fraction:
         Override of the workload's own warm-up fraction; ``None``
         keeps the rendered instance's value.
+    events:
+        Event-stream collection (:class:`repro.obs.EventConfig`);
+        ``None`` (default) leaves the observability bus detached.  A
+        mapping is normalised to an ``EventConfig``.  Part of the
+        spec's identity: event-bearing results get their own cache
+        entries.
     """
 
     workload: str
@@ -108,8 +115,14 @@ class RunSpec:
     policy_overrides: Overrides = ()
     spec_transform: tuple = ()
     warmup_fraction: float | None = None
+    events: EventConfig | None = None
 
     def __post_init__(self) -> None:
+        if self.events is not None and not isinstance(self.events,
+                                                      EventConfig):
+            object.__setattr__(
+                self, "events", EventConfig.from_dict(self.events)
+            )
         overrides = self.policy_overrides
         if isinstance(overrides, Mapping):
             pairs = tuple(sorted(overrides.items()))
@@ -155,6 +168,7 @@ class RunSpec:
             self.footprint_scale,
             self.seed,
             -1.0 if self.warmup_fraction is None else self.warmup_fraction,
+            repr(self.events),
         )
 
     def to_dict(self) -> dict:
@@ -168,10 +182,14 @@ class RunSpec:
             "policy_overrides": [list(pair) for pair in self.policy_overrides],
             "spec_transform": list(self.spec_transform),
             "warmup_fraction": self.warmup_fraction,
+            "events": (
+                self.events.to_dict() if self.events is not None else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunSpec":
+        events = data.get("events")
         return cls(
             workload=data["workload"],
             policy=data["policy"],
@@ -183,6 +201,10 @@ class RunSpec:
             ),
             spec_transform=tuple(data["spec_transform"]),
             warmup_fraction=data["warmup_fraction"],
+            events=(
+                EventConfig.from_dict(events) if events is not None
+                else None
+            ),
         )
 
     def digest(self) -> str:
@@ -247,6 +269,7 @@ class RunSpec:
             self.machine_spec(instance),
             factory if factory is not None else self.build_policy_factory(),
             inter_request_gap=instance.inter_request_gap,
+            events=self.events,
         )
         warmup = (instance.warmup_fraction if self.warmup_fraction is None
                   else self.warmup_fraction)

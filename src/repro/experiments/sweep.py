@@ -22,6 +22,7 @@ from repro.core.config import MigrationConfig
 from repro.experiments.executor import ParallelExecutor
 from repro.experiments.runspec import RunSpec
 from repro.mmu.simulator import RunResult
+from repro.obs.config import EventConfig
 
 
 @dataclass(frozen=True)
@@ -63,11 +64,14 @@ def threshold_sweep(
     base_config: MigrationConfig | None = None,
     seed: int = 2016,
     executor: ParallelExecutor | None = None,
+    events: EventConfig | None = None,
 ) -> list[SweepPoint]:
     """Sweep both promotion thresholds together (A-1).
 
     The write threshold tracks at half the read threshold, preserving
-    the scheme's write-priority rule.
+    the scheme's write-priority rule.  ``events`` attaches the
+    observability bus to every point (callers read the per-spec
+    summaries back off the executor).
     """
     base = base_config or MigrationConfig()
     specs = [
@@ -75,6 +79,7 @@ def threshold_sweep(
             workload,
             policy="proposed",
             seed=seed,
+            events=events,
             policy_overrides={
                 "read_window_fraction": base.read_window_fraction,
                 "write_window_fraction": base.write_window_fraction,
@@ -95,6 +100,7 @@ def window_sweep(
     fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
     seed: int = 2016,
     executor: ParallelExecutor | None = None,
+    events: EventConfig | None = None,
 ) -> list[SweepPoint]:
     """Sweep the counter-window size (A-2); the write window tracks at
     1.5x the read window, capped at the whole queue."""
@@ -104,6 +110,7 @@ def window_sweep(
             workload,
             policy="proposed",
             seed=seed,
+            events=events,
             policy_overrides={
                 "read_window_fraction": fraction,
                 "write_window_fraction": min(1.0, fraction * 1.5),
@@ -124,6 +131,7 @@ def dram_ratio_sweep(
     ratios: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.5),
     seed: int = 2016,
     executor: ParallelExecutor | None = None,
+    events: EventConfig | None = None,
 ) -> list[SweepPoint]:
     """Sweep DRAM's share of the hybrid memory (A-3)."""
     specs = [
@@ -131,6 +139,7 @@ def dram_ratio_sweep(
             workload,
             policy="proposed",
             seed=seed,
+            events=events,
             spec_transform=("dram-fraction", ratio),
         )
         for ratio in ratios

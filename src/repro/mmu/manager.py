@@ -12,12 +12,17 @@ models.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.memory.accounting import AccessAccounting, WearAccounting
 from repro.memory.specs import HybridMemorySpec
 from repro.mmu.dma import DMAEngine
 from repro.mmu.frames import FrameAllocator
 from repro.mmu.page import PageLocation, PageTableEntry
 from repro.mmu.page_table import PageTable
+
+if TYPE_CHECKING:  # repro.obs imports mmu.page; keep this edge typing-only
+    from repro.obs.bus import EventBus
 
 
 class MemoryManager:
@@ -32,6 +37,10 @@ class MemoryManager:
         self.accounting = AccessAccounting()
         self.wear = WearAccounting(page_factor=spec.page_factor)
         self._post_reset_fill_credit = 0
+        #: Optional observability bus; the simulator attaches one when
+        #: event collection is requested.  ``None`` keeps every path
+        #: below a single predictable branch away from the status quo.
+        self.events: "EventBus | None" = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -57,11 +66,18 @@ class MemoryManager:
     # Request servicing
     # ------------------------------------------------------------------
     def record_request(self, is_write: bool) -> None:
-        """Count an arriving request (exactly once per trace record)."""
+        """Count an arriving request (exactly once per trace record).
+
+        Also advances the event clock when a bus is attached: event
+        indexes are exactly "requests recorded so far".
+        """
         if is_write:
             self.accounting.write_requests += 1
         else:
             self.accounting.read_requests += 1
+        events = self.events
+        if events is not None:
+            events.clock += 1
 
     def serve_hit(self, page: int, is_write: bool) -> PageTableEntry:
         """Service a request for a resident page in place.
@@ -125,6 +141,11 @@ class MemoryManager:
         else:
             self.accounting.faults_filled_nvm += 1
             self.wear.record_fault_fill(page)
+        events = self.events
+        if events is not None:
+            events.page_fault(
+                page, destination is PageLocation.DRAM, is_write
+            )
         return entry
 
     def migrate(self, page: int, destination: PageLocation) -> PageTableEntry:
@@ -151,6 +172,14 @@ class MemoryManager:
         else:
             self.accounting.migrations_to_nvm += 1
             self.wear.record_migration_in(page)
+        events = self.events
+        if events is not None:
+            events.migration(
+                page,
+                destination is PageLocation.DRAM,
+                entry.access_count,
+                entry.write_count,
+            )
         return entry
 
     def swap(self, page_a: int, page_b: int) -> None:
@@ -173,6 +202,7 @@ class MemoryManager:
             )
         entry_a.location, entry_b.location = entry_b.location, entry_a.location
         entry_a.frame, entry_b.frame = entry_b.frame, entry_a.frame
+        events = self.events
         for entry in (entry_a, entry_b):
             self.dma.transfer_page(
                 PageLocation.NVM if entry.location is PageLocation.DRAM
@@ -184,6 +214,13 @@ class MemoryManager:
             else:
                 self.accounting.migrations_to_nvm += 1
                 self.wear.record_migration_in(entry.page)
+            if events is not None:
+                events.migration(
+                    entry.page,
+                    entry.location is PageLocation.DRAM,
+                    entry.access_count,
+                    entry.write_count,
+                )
 
     # ------------------------------------------------------------------
     # DRAM-as-cache support (the caching school of paper Section III)
@@ -206,6 +243,12 @@ class MemoryManager:
         entry.copy_dirty = False
         self.dma.transfer_page(PageLocation.NVM, PageLocation.DRAM)
         self.accounting.migrations_to_dram += 1
+        events = self.events
+        if events is not None:
+            events.migration(
+                page, True, entry.access_count, entry.write_count,
+                trigger="copy",
+            )
         return entry
 
     def drop_copy(self, page: int) -> bool:
@@ -226,6 +269,12 @@ class MemoryManager:
             self.wear.record_migration_in(page)
         entry.copy_frame = None
         entry.copy_dirty = False
+        events = self.events
+        if events is not None:
+            events.migration(
+                page, False, entry.access_count, entry.write_count,
+                trigger="writeback" if wrote_back else "copy-drop",
+            )
         return wrote_back
 
     def evict_to_disk(self, page: int) -> PageTableEntry:
@@ -242,6 +291,15 @@ class MemoryManager:
             self.accounting.dirty_evictions += 1
         else:
             self.accounting.clean_evictions += 1
+        events = self.events
+        if events is not None:
+            events.eviction(
+                page,
+                entry.location is PageLocation.DRAM,
+                entry.dirty,
+                entry.access_count,
+                entry.write_count,
+            )
         return entry
 
     # ------------------------------------------------------------------

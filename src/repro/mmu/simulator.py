@@ -23,6 +23,14 @@ from repro.memory.metrics import PerformanceBreakdown, compute_performance
 from repro.memory.power import PowerBreakdown, compute_power
 from repro.memory.specs import HybridMemorySpec
 from repro.mmu.manager import MemoryManager
+from repro.obs.bus import EventBus, Sink
+from repro.obs.config import EventConfig
+from repro.obs.sinks import (
+    BeneficialMigrationClassifier,
+    BufferSink,
+    IntervalAggregator,
+)
+from repro.obs.summary import EventSummary
 from repro.trace.trace import Trace
 
 if TYPE_CHECKING:  # avoid a package-level cycle with repro.policies
@@ -47,6 +55,9 @@ class RunResult:
     power: PowerBreakdown
     nvm_writes: NVMWriteBreakdown
     endurance: EnduranceReport
+    #: Distilled event stream; only present when the run was driven
+    #: with ``events=EventConfig(...)``.
+    events: EventSummary | None = None
 
     @property
     def amat(self) -> float:
@@ -78,10 +89,14 @@ class RunResult:
             "power": self.power.to_dict(),
             "nvm_writes": self.nvm_writes.to_dict(),
             "endurance": self.endurance.to_dict(),
+            "events": (
+                self.events.to_dict() if self.events is not None else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        events = data.get("events")
         return cls(
             workload=data["workload"],
             policy=data["policy"],
@@ -92,6 +107,10 @@ class RunResult:
             power=PowerBreakdown.from_dict(data["power"]),
             nvm_writes=NVMWriteBreakdown.from_dict(data["nvm_writes"]),
             endurance=EnduranceReport.from_dict(data["endurance"]),
+            events=(
+                EventSummary.from_dict(events) if events is not None
+                else None
+            ),
         )
 
     def summary(self) -> dict[str, float]:
@@ -122,6 +141,7 @@ class HybridMemorySimulator:
         inter_request_gap: float = 0.0,
         sanitize: bool | None = None,
         batch: bool = True,
+        events: EventConfig | EventBus | None = None,
     ) -> None:
         """
         Parameters
@@ -147,6 +167,15 @@ class HybridMemorySimulator:
             (default).  ``False`` forces the per-request ``access``
             loop — the reference path the golden-equivalence tests
             compare against.  Results are bit-identical either way.
+        events:
+            ``None`` (default) disables observability entirely — the
+            hot paths stay a single predictable branch away from the
+            uninstrumented code.  An :class:`EventConfig` attaches the
+            standard sinks for the measured region and publishes an
+            :class:`EventSummary` on the result.  A pre-built
+            :class:`EventBus` (caller-owned sinks, e.g. a streaming
+            :class:`JsonlTraceSink`) is attached as-is and no summary
+            is built.
         """
         self.spec = spec
         self.mm = MemoryManager(spec)
@@ -161,6 +190,8 @@ class HybridMemorySimulator:
         self.validate_every = validate_every
         self.inter_request_gap = inter_request_gap
         self.batch = batch
+        self.events = events
+        self._event_summary: EventSummary | None = None
 
     def run(self, trace: Trace, warmup_fraction: float = 0.0) -> RunResult:
         """Simulate the trace and evaluate the models.
@@ -168,24 +199,103 @@ class HybridMemorySimulator:
         ``warmup_fraction`` of the trace is replayed first to populate
         memory and train the policy, then the accounting is reset and
         only the remainder is measured (the paper's warm-start ROI
-        measurement).
+        measurement).  The event bus, when configured, observes only
+        the measured region: it is attached after the warm-up reset,
+        so event indexes are 1-based measured-request ordinals.
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
-        if warmup_fraction > 0.0:
-            boundary = int(len(trace) * warmup_fraction)
+        boundary = (
+            int(len(trace) * warmup_fraction)
+            if warmup_fraction > 0.0 else 0
+        )
+        self._event_summary = None
+        if boundary:
             self._replay(trace[:boundary])
             self.mm.reset_accounting()
-            self._replay(trace[boundary:])
+            measured = trace[boundary:]
         else:
-            self._replay(trace)
+            measured = trace
+        if self.events is None:
+            self._replay(measured)
+        else:
+            bus = self._build_bus(len(measured))
+            self.mm.events = bus
+            try:
+                self._replay_chunked(measured, bus)
+            finally:
+                self.mm.events = None
+            bus.finish(self.mm)
+            self._event_summary = self._summarize(bus)
         # End-of-run enforcement: every run must leave the policy's
         # structures consistent with the manager's, or the scores are
         # bookkeeping artifacts.
         self.policy.validate()
         return self.result(workload=trace.name)
 
-    def _replay(self, trace: Trace) -> None:
+    def _build_bus(self, measured_requests: int) -> EventBus:
+        events = self.events
+        if isinstance(events, EventBus):
+            if events.interval <= 0:
+                events.interval = EventConfig().resolve_interval(
+                    measured_requests
+                )
+            return events
+        assert isinstance(events, EventConfig)
+        sinks: list[Sink] = [
+            IntervalAggregator(self.spec, self.inter_request_gap)
+        ]
+        if events.classify:
+            sinks.append(BeneficialMigrationClassifier(self.spec))
+        if events.trace:
+            sinks.append(BufferSink())
+        return EventBus(sinks, interval=events.resolve_interval(
+            measured_requests
+        ))
+
+    def _summarize(self, bus: EventBus) -> EventSummary | None:
+        if not isinstance(self.events, EventConfig):
+            return None  # caller-owned bus: the caller owns the sinks
+        aggregator = classifier = buffer = None
+        for sink in bus.sinks:
+            if isinstance(sink, IntervalAggregator):
+                aggregator = sink
+            elif isinstance(sink, BeneficialMigrationClassifier):
+                classifier = sink
+            elif isinstance(sink, BufferSink):
+                buffer = sink
+        return EventSummary(
+            interval=bus.interval,
+            requests=bus.clock,
+            events=bus.events_seen,
+            inter_request_gap=self.inter_request_gap,
+            series=aggregator.series if aggregator is not None else (),
+            migrations=(
+                classifier.ledger if classifier is not None else None
+            ),
+            trace_lines=(
+                tuple(buffer.lines) if buffer is not None else ()
+            ),
+        )
+
+    def _replay_chunked(self, trace: Trace, bus: EventBus) -> None:
+        """Measured-region replay with an epoch mark every interval.
+
+        Chunking drives the same kernels as :meth:`_replay` (the batch
+        kernels flush their deferred accounting per chunk in their
+        ``finally`` blocks, so the totals are bit-identical to one big
+        batch), and ``base`` keeps the ``validate_every`` cadence
+        aligned with the unchunked replay.
+        """
+        interval = bus.interval
+        total = len(trace)
+        start = 0
+        while start < total:
+            self._replay(trace[start:start + interval], base=start)
+            start += interval
+            bus.epoch(self.mm)
+
+    def _replay(self, trace: Trace, base: int = 0) -> None:
         # The kernel is selected once per replay — per-request code
         # never branches on sanitize/batch/validate_every (the
         # sanitizer, when on, substituted an instrumented policy at
@@ -194,7 +304,9 @@ class HybridMemorySimulator:
         if self.validate_every > 0:
             access = self.policy.access
             validate_every = self.validate_every
-            for index, (page, is_write) in enumerate(trace.iter_pairs(), 1):
+            for index, (page, is_write) in enumerate(
+                trace.iter_pairs(), base + 1
+            ):
                 access(page, is_write)
                 if index % validate_every == 0:
                     self.policy.validate()
@@ -236,6 +348,7 @@ class HybridMemorySimulator:
             power=power,
             nvm_writes=nvm_writes,
             endurance=endurance,
+            events=self._event_summary,
         )
 
 
@@ -248,6 +361,7 @@ def simulate(
     warmup_fraction: float = 0.0,
     sanitize: bool | None = None,
     batch: bool = True,
+    events: EventConfig | EventBus | None = None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`HybridMemorySimulator`."""
     simulator = HybridMemorySimulator(
@@ -257,5 +371,6 @@ def simulate(
         inter_request_gap=inter_request_gap,
         sanitize=sanitize,
         batch=batch,
+        events=events,
     )
     return simulator.run(trace, warmup_fraction=warmup_fraction)

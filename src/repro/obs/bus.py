@@ -1,0 +1,221 @@
+"""The event bus: zero-overhead-when-disabled instrumentation spine.
+
+A :class:`MemoryManager` optionally carries an :class:`EventBus` on its
+``events`` attribute (``None`` by default).  The manager's movement
+methods — and the hand-fused batch kernels, which bypass those methods
+on their fast paths — append typed events to the bus's pending buffer;
+the simulator flushes the buffer into the attached sinks at every
+fixed-interval epoch rollover.
+
+Clock protocol
+--------------
+``bus.clock`` counts the measured trace requests recorded so far:
+``MemoryManager.record_request`` ticks it when a bus is attached.  The
+batch kernels defer their request counters in locals, so before any
+call-out that can tick or emit they fold the deferred counts into the
+clock (the ``synced`` bookkeeping in each kernel) and their
+kernel-direct emissions compute the in-flight index explicitly.  This
+keeps the event stream byte-identical between the batched and
+per-request replay paths — asserted by the golden-equivalence tests.
+
+Ordering
+--------
+All emissions, whether routed through the manager's methods or
+appended directly by a kernel, land in one shared pending list in
+chronological order; sinks therefore observe the same stream
+regardless of replay mode, chunking or worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.mmu.page import PageLocation
+from repro.obs.events import (
+    EpochEvent,
+    Event,
+    EvictionEvent,
+    MigrationEvent,
+    PageFaultEvent,
+)
+
+if TYPE_CHECKING:  # mmu imports obs; keep the reverse edge typing-only
+    from repro.mmu.manager import MemoryManager
+
+
+@dataclass(frozen=True)
+class FinalState:
+    """End-of-run memory state handed to every sink's ``finish``.
+
+    ``pages`` maps each still-resident page to ``(served_from_dram,
+    access_count, write_count)`` so sinks can resolve records that are
+    still open when the run ends (e.g. promotions whose page never got
+    demoted).
+    """
+
+    clock: int
+    interval: int
+    pages: Mapping[int, tuple[bool, int, int]]
+
+
+class Sink:
+    """Event consumer attached to an :class:`EventBus`.
+
+    ``handle`` receives every event in chronological order, in epoch
+    batches; ``finish`` is called exactly once after the final epoch
+    flush.
+    """
+
+    def handle(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def finish(self, final: FinalState) -> None:  # noqa: B027 - optional hook
+        """Optional end-of-run hook; default does nothing."""
+
+
+class EventBus:
+    """Collects typed events and fans them out to sinks per epoch."""
+
+    __slots__ = (
+        "sinks",
+        "interval",
+        "clock",
+        "events_seen",
+        "_pending",
+        "_trigger",
+        "_last_epoch",
+    )
+
+    def __init__(self, sinks: list[Sink], interval: int = 0) -> None:
+        self.sinks = sinks
+        self.interval = interval
+        #: measured requests recorded so far (1-based event indexes).
+        self.clock = 0
+        self.events_seen = 0
+        self._pending: list[Event] = []
+        self._trigger: tuple[str, int | None, int | None] | None = None
+        self._last_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Emission (called by the manager and the batch kernels)
+    # ------------------------------------------------------------------
+    def annotate(
+        self,
+        trigger: str,
+        counter: int | None = None,
+        threshold: int | None = None,
+    ) -> None:
+        """Stage trigger context for the next promotion emission.
+
+        Policies call this right before asking the manager to promote;
+        the very next ``to_dram`` migration event carries the counter
+        value and threshold that fired the decision.
+        """
+        self._trigger = (trigger, counter, threshold)
+
+    def migration(
+        self,
+        page: int,
+        to_dram: bool,
+        access_count: int,
+        write_count: int,
+        trigger: str | None = None,
+    ) -> None:
+        counter: int | None = None
+        threshold: int | None = None
+        if trigger is None and to_dram and self._trigger is not None:
+            trigger, counter, threshold = self._trigger
+            self._trigger = None
+        self._pending.append(MigrationEvent(
+            index=self.clock,
+            page=page,
+            to_dram=to_dram,
+            access_count=access_count,
+            write_count=write_count,
+            trigger=trigger,
+            counter=counter,
+            threshold=threshold,
+        ))
+
+    def page_fault(self, page: int, to_dram: bool, is_write: bool) -> None:
+        self._pending.append(PageFaultEvent(
+            index=self.clock, page=page, to_dram=to_dram, is_write=is_write,
+        ))
+
+    def eviction(
+        self,
+        page: int,
+        from_dram: bool,
+        dirty: bool,
+        access_count: int,
+        write_count: int,
+    ) -> None:
+        self._pending.append(EvictionEvent(
+            index=self.clock,
+            page=page,
+            from_dram=from_dram,
+            dirty=dirty,
+            access_count=access_count,
+            write_count=write_count,
+        ))
+
+    # ------------------------------------------------------------------
+    # Epoch rollover and delivery (called by the simulator)
+    # ------------------------------------------------------------------
+    def epoch(self, mm: "MemoryManager") -> None:
+        """Mark an interval boundary and flush pending events to sinks.
+
+        Idempotent per clock value, so the final partial interval is
+        marked exactly once even when the trace length divides evenly
+        into the interval.
+        """
+        clock = self.clock
+        if clock == self._last_epoch:
+            return
+        self._last_epoch = clock
+        wear = mm.wear
+        self._pending.append(EpochEvent(
+            index=clock,
+            accounting=mm.accounting.snapshot(),
+            wear={
+                "fault_fill_writes": wear.fault_fill_writes,
+                "migration_writes": wear.migration_writes,
+                "request_writes": wear.request_writes,
+                "touched_pages": wear.touched_pages,
+                "max_page_writes": wear.max_page_writes,
+            },
+        ))
+        self.flush()
+
+    def flush(self) -> None:
+        """Deliver buffered events to every sink, in order."""
+        pending = self._pending
+        if not pending:
+            return
+        self.events_seen += len(pending)
+        for sink in self.sinks:
+            handle = sink.handle
+            for event in pending:
+                handle(event)
+        self._pending = []
+
+    def finish(self, mm: "MemoryManager") -> None:
+        """Mark the final epoch and run every sink's ``finish`` hook."""
+        self.epoch(mm)
+        self.flush()
+        dram = PageLocation.DRAM
+        final = FinalState(
+            clock=self.clock,
+            interval=self.interval,
+            pages={
+                entry.page: (
+                    entry.location is dram or entry.has_copy,
+                    entry.access_count,
+                    entry.write_count,
+                )
+                for entry in mm.page_table.entries()
+            },
+        )
+        for sink in self.sinks:
+            sink.finish(final)

@@ -1,0 +1,125 @@
+"""Typed simulation events: the vocabulary of the observability layer.
+
+Each event is a frozen, slotted dataclass with a ``kind`` tag used for
+JSONL serialisation.  ``index`` is the 1-based ordinal of the measured
+trace request being served when the event fired (the count restarts at
+1 where the measured region begins, i.e. after any warm-up prefix).
+Epoch marks carry the index of the last request included in the epoch.
+
+The counters carried by :class:`MigrationEvent` and
+:class:`EvictionEvent` are the page-table entry's ``access_count`` /
+``write_count`` *at the moment the page moved*; differencing them
+between a promotion and the matching demotion/eviction yields exactly
+the DRAM hits the promotion earned, which is what the
+beneficial-migration classifier consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Mapping, Union
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationEvent:
+    """A page crossed between the two modules (or a DRAM copy did).
+
+    ``trigger``/``counter``/``threshold`` are only present on
+    promotions whose policy annotated the decision: the counter that
+    crossed and the threshold it crossed (paper Section IV's read/write
+    migration triggers).  DRAM-cache copy fills and copy drops are
+    charged as migrations by the cost model and therefore also appear
+    here, with ``trigger`` set to ``"copy"``/``"copy-drop"``/
+    ``"writeback"``.
+    """
+
+    kind: ClassVar[str] = "migration"
+
+    index: int
+    page: int
+    to_dram: bool
+    access_count: int
+    write_count: int
+    trigger: str | None = None
+    counter: int | None = None
+    threshold: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PageFaultEvent:
+    """A non-resident page was loaded from disk into ``DRAM``/``NVM``."""
+
+    kind: ClassVar[str] = "fault"
+
+    index: int
+    page: int
+    to_dram: bool
+    is_write: bool
+
+
+@dataclass(frozen=True, slots=True)
+class EvictionEvent:
+    """A resident page was evicted to disk (write-back when dirty)."""
+
+    kind: ClassVar[str] = "eviction"
+
+    index: int
+    page: int
+    from_dram: bool
+    dirty: bool
+    access_count: int
+    write_count: int
+
+
+@dataclass(frozen=True, slots=True)
+class EpochEvent:
+    """Fixed-interval rollover mark with *cumulative* accounting.
+
+    ``accounting`` is :meth:`AccessAccounting.snapshot` (all fourteen
+    counters) and ``wear`` the wear totals, both cumulative since the
+    start of the measured region.  Consumers difference consecutive
+    epochs to get exact per-interval counts; summing those deltas
+    reconstructs the end-of-run counters bit-for-bit.
+    """
+
+    kind: ClassVar[str] = "epoch"
+
+    index: int
+    accounting: dict[str, int]
+    wear: dict[str, int]
+
+
+Event = Union[MigrationEvent, PageFaultEvent, EvictionEvent, EpochEvent]
+
+#: kind tag -> event class, for decoding serialised streams.
+EVENT_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (MigrationEvent, PageFaultEvent, EvictionEvent, EpochEvent)
+}
+
+
+def event_to_dict(event: Event) -> dict[str, Any]:
+    """Flat JSON-compatible form, with the ``kind`` tag included."""
+    data: dict[str, Any] = {"kind": event.kind}
+    for field in fields(event):
+        data[field.name] = getattr(event, field.name)
+    return data
+
+
+def event_from_dict(data: Mapping[str, Any]) -> Event:
+    """Inverse of :func:`event_to_dict`."""
+    payload = dict(data)
+    kind = payload.pop("kind")
+    return EVENT_TYPES[kind](**payload)  # type: ignore[no-any-return]
+
+
+def encode_event(event: Event) -> str:
+    """One deterministic JSONL line (sorted keys, no whitespace)."""
+    return json.dumps(event_to_dict(event), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def decode_event(line: str) -> Event:
+    """Inverse of :func:`encode_event`."""
+    return event_from_dict(json.loads(line))

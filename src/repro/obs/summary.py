@@ -1,0 +1,209 @@
+"""Serializable summaries distilled from an event stream.
+
+These are the objects that ride on :class:`~repro.mmu.simulator.RunResult`
+(and therefore through the parallel executor's worker pool and the
+persistent result cache), so every one of them round-trips losslessly
+through ``to_dict``/``from_dict`` JSON, like the rest of the result
+object graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class IntervalMetrics:
+    """Paper metrics evaluated over one fixed interval of the run.
+
+    ``accounting`` holds the exact per-interval *delta* of all fourteen
+    event counters; ``amat``/``appr``/``nvm_writes`` are the paper's
+    Eq. 1 / Eq. 2-3 / endurance models evaluated on that delta.  The
+    ``wear`` dict carries the interval's line-write deltas plus the
+    cumulative ``touched_pages``/``max_page_writes`` watermarks (which
+    are not interval-decomposable).
+    """
+
+    index: int
+    start: int
+    end: int
+    requests: int
+    amat: float
+    appr: float
+    nvm_writes: int
+    migrations_to_dram: int
+    migrations_to_nvm: int
+    page_faults: int
+    evictions: int
+    accounting: dict[str, int]
+    wear: dict[str, int]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "requests": self.requests,
+            "amat": self.amat,
+            "appr": self.appr,
+            "nvm_writes": self.nvm_writes,
+            "migrations_to_dram": self.migrations_to_dram,
+            "migrations_to_nvm": self.migrations_to_nvm,
+            "page_faults": self.page_faults,
+            "evictions": self.evictions,
+            "accounting": dict(self.accounting),
+            "wear": dict(self.wear),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IntervalMetrics":
+        return cls(
+            index=data["index"],
+            start=data["start"],
+            end=data["end"],
+            requests=data["requests"],
+            amat=data["amat"],
+            appr=data["appr"],
+            nvm_writes=data["nvm_writes"],
+            migrations_to_dram=data["migrations_to_dram"],
+            migrations_to_nvm=data["migrations_to_nvm"],
+            page_faults=data["page_faults"],
+            evictions=data["evictions"],
+            accounting=dict(data["accounting"]),
+            wear=dict(data["wear"]),
+        )
+
+
+@dataclass(frozen=True)
+class IntervalLedger:
+    """Beneficial/non-beneficial promotion split for one interval."""
+
+    index: int
+    promotions: int
+    beneficial: int
+    non_beneficial: int
+    wasted_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "promotions": self.promotions,
+            "beneficial": self.beneficial,
+            "non_beneficial": self.non_beneficial,
+            "wasted_seconds": self.wasted_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IntervalLedger":
+        return cls(
+            index=data["index"],
+            promotions=data["promotions"],
+            beneficial=data["beneficial"],
+            non_beneficial=data["non_beneficial"],
+            wasted_seconds=data["wasted_seconds"],
+        )
+
+
+@dataclass(frozen=True)
+class MigrationLedger:
+    """Run-level beneficial-migration audit (the paper's Fig. 2/3 split).
+
+    A promotion is *beneficial* when the DRAM-vs-NVM latency saved by
+    the hits its page served while promoted covers the page's migration
+    latency; ``wasted_seconds`` accumulates the uncovered remainder of
+    every non-beneficial promotion.
+    """
+
+    promotions: int
+    beneficial: int
+    non_beneficial: int
+    dram_reads_served: int
+    dram_writes_served: int
+    saved_seconds: float
+    migration_cost_seconds: float
+    wasted_seconds: float
+    by_interval: tuple[IntervalLedger, ...] = ()
+
+    @property
+    def beneficial_ratio(self) -> float:
+        return self.beneficial / self.promotions if self.promotions else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "promotions": self.promotions,
+            "beneficial": self.beneficial,
+            "non_beneficial": self.non_beneficial,
+            "dram_reads_served": self.dram_reads_served,
+            "dram_writes_served": self.dram_writes_served,
+            "saved_seconds": self.saved_seconds,
+            "migration_cost_seconds": self.migration_cost_seconds,
+            "wasted_seconds": self.wasted_seconds,
+            "by_interval": [row.to_dict() for row in self.by_interval],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MigrationLedger":
+        return cls(
+            promotions=data["promotions"],
+            beneficial=data["beneficial"],
+            non_beneficial=data["non_beneficial"],
+            dram_reads_served=data["dram_reads_served"],
+            dram_writes_served=data["dram_writes_served"],
+            saved_seconds=data["saved_seconds"],
+            migration_cost_seconds=data["migration_cost_seconds"],
+            wasted_seconds=data["wasted_seconds"],
+            by_interval=tuple(
+                IntervalLedger.from_dict(row) for row in data["by_interval"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class EventSummary:
+    """Everything the standard sinks distilled from one run's events.
+
+    Built by the simulator when ``events=EventConfig(...)`` is passed;
+    rides on :class:`RunResult` so the executor ships it back from
+    workers and the cache persists it with no extra machinery.
+    """
+
+    interval: int
+    requests: int
+    events: int
+    inter_request_gap: float = 0.0
+    series: tuple[IntervalMetrics, ...] = ()
+    migrations: MigrationLedger | None = None
+    trace_lines: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "requests": self.requests,
+            "events": self.events,
+            "inter_request_gap": self.inter_request_gap,
+            "series": [row.to_dict() for row in self.series],
+            "migrations": (
+                self.migrations.to_dict()
+                if self.migrations is not None else None
+            ),
+            "trace_lines": list(self.trace_lines),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EventSummary":
+        migrations = data.get("migrations")
+        return cls(
+            interval=data["interval"],
+            requests=data["requests"],
+            events=data["events"],
+            inter_request_gap=data.get("inter_request_gap", 0.0),
+            series=tuple(
+                IntervalMetrics.from_dict(row) for row in data["series"]
+            ),
+            migrations=(
+                MigrationLedger.from_dict(migrations)
+                if migrations is not None else None
+            ),
+            trace_lines=tuple(data.get("trace_lines", ())),
+        )

@@ -180,6 +180,12 @@ class ClockDWFPolicy(HybridMemoryPolicy):
         event counters accumulate in locals and flush once per batch in
         a ``finally`` block.  Subclasses that override ``access`` or
         replace the NVM clock fall back to the per-request loop.
+
+        With an event bus attached, every call-out (fault, promotion,
+        copy-served read) folds the deferred request counters into
+        ``bus.clock`` first and the ``finally`` block folds the
+        remainder, keeping the event stream byte-identical to the
+        per-request path's (the inlined hit paths never emit).
         """
         cls = type(self)
         if (
@@ -202,6 +208,10 @@ class ClockDWFPolicy(HybridMemoryPolicy):
         page_fault = self._page_fault
         dram_location = PageLocation.DRAM
         nvm_location = PageLocation.NVM
+        bus = mm.events
+        # Requests already folded into the bus clock; the deferred
+        # request counters minus this are the kernel's clock debt.
+        synced = 0
 
         # Deferred (commutative) event counters, flushed after the loop.
         read_requests = 0
@@ -214,6 +224,9 @@ class ClockDWFPolicy(HybridMemoryPolicy):
             for page, is_write in zip(pages, writes):
                 entry = entries_get(page)
                 if entry is None:
+                    if bus is not None:
+                        bus.clock += read_requests + write_requests - synced
+                        synced = read_requests + write_requests
                     record_request(is_write)
                     page_fault(page, is_write)
                     continue
@@ -241,6 +254,11 @@ class ClockDWFPolicy(HybridMemoryPolicy):
                     if is_write:
                         # NVM never answers writes: promote, then serve
                         # in DRAM (multi-step; keep the method calls).
+                        if bus is not None:
+                            bus.clock += (
+                                read_requests + write_requests - synced
+                            )
+                            synced = read_requests + write_requests
                         record_request(True)
                         promote(page)
                         serve_hit(page, True)
@@ -249,6 +267,11 @@ class ClockDWFPolicy(HybridMemoryPolicy):
                         # --- NVM read hit: clock + serve_hit inlined ---
                         nvm_nodes[page].referenced = True
                         if entry.copy_frame is not None:
+                            if bus is not None:
+                                bus.clock += (
+                                    read_requests + write_requests - synced
+                                )
+                                synced = read_requests + write_requests
                             record_request(False)
                             serve_hit(page, False)
                         else:
@@ -257,9 +280,14 @@ class ClockDWFPolicy(HybridMemoryPolicy):
                             entry.referenced = True
                             entry.access_count += 1
                 else:
+                    if bus is not None:
+                        bus.clock += read_requests + write_requests - synced
+                        synced = read_requests + write_requests
                     record_request(is_write)
                     page_fault(page, is_write)
         finally:
+            if bus is not None:
+                bus.clock += read_requests + write_requests - synced
             accounting.read_requests += read_requests
             accounting.write_requests += write_requests
             accounting.dram_read_hits += dram_read_hits
@@ -269,6 +297,11 @@ class ClockDWFPolicy(HybridMemoryPolicy):
     # ------------------------------------------------------------------
     def _promote(self, page: int) -> None:
         """Migrate an NVM page to DRAM on a write request."""
+        events = self.mm.events
+        if events is not None:
+            # CLOCK-DWF's trigger is unconditional: the first NVM write
+            # promotes (threshold of one write, no counter history).
+            events.annotate("nvm-write", 1, 1)
         self.nvm_clock.remove(page)
         if self.mm.has_free(PageLocation.DRAM):
             self.mm.migrate(page, PageLocation.DRAM)

@@ -157,11 +157,22 @@ def register_policy(name: str, factory: PolicyFactory) -> None:
 def proposed_with(config: "MigrationConfig") -> PolicyFactory:
     """Factory for the proposed scheme with custom thresholds/windows.
 
-    Equivalent to ``policy_factory("proposed", asdict(config))`` — kept
-    for callers that already hold a :class:`MigrationConfig`.
+    .. deprecated::
+        Call ``policy_factory("proposed", overrides)`` with a plain
+        override mapping (or ``asdict(config)``) instead — structured
+        overrides are what :class:`RunSpec` serialises, caches and
+        ships across the worker pool.
     """
+    import warnings
     from dataclasses import asdict
 
+    warnings.warn(
+        'proposed_with() is deprecated; use policy_factory("proposed", '
+        "overrides) with an override mapping (e.g. dataclasses.asdict "
+        "of a MigrationConfig)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return policy_factory("proposed", asdict(config))
 
 

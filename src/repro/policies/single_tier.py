@@ -98,6 +98,11 @@ class SingleTierPolicy(HybridMemoryPolicy):
             else None
         )
 
+        bus = mm.events
+        # Requests already folded into the bus clock; the deferred
+        # request counters minus this are the kernel's clock debt.
+        synced = 0
+
         # Deferred (commutative) event counters, flushed after the loop.
         read_requests = 0
         write_requests = 0
@@ -114,6 +119,11 @@ class SingleTierPolicy(HybridMemoryPolicy):
                 for page, is_write in zip(pages, writes):
                     node = nodes_get(page)
                     if node is None:
+                        if bus is not None:
+                            bus.clock += (
+                                read_requests + write_requests - synced
+                            )
+                            synced = read_requests + write_requests
                         record_request(is_write)
                         if len(nodes) >= capacity:
                             evict_to_disk(alg_evict())
@@ -174,6 +184,11 @@ class SingleTierPolicy(HybridMemoryPolicy):
                 alg_contains = algorithm.__contains__
                 for page, is_write in zip(pages, writes):
                     if not alg_contains(page):
+                        if bus is not None:
+                            bus.clock += (
+                                read_requests + write_requests - synced
+                            )
+                            synced = read_requests + write_requests
                         record_request(is_write)
                         if algorithm.full:
                             evict_to_disk(alg_evict())
@@ -210,6 +225,8 @@ class SingleTierPolicy(HybridMemoryPolicy):
                     entry.referenced = True
                     entry.access_count += 1
         finally:
+            if bus is not None:
+                bus.clock += read_requests + write_requests - synced
             accounting.read_requests += read_requests
             accounting.write_requests += write_requests
             accounting.dram_read_hits += dram_read_hits

@@ -56,6 +56,14 @@ def test_endurance_study(capsys):
     assert "levelling gain" in out
 
 
+def test_migration_timeline(capsys):
+    out = _run("migration_timeline.py", capsys=capsys)
+    assert "beneficial vs non-beneficial" in out
+    assert "promotions" in out
+    assert "event stream" in out
+    assert "timeline" in out
+
+
 def test_nvm_technology_study(capsys):
     out = _run("nvm_technology_study.py", capsys=capsys)
     assert "STT-RAM-like" in out

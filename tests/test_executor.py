@@ -308,5 +308,5 @@ class TestRunnerIntegration:
         assert set(grid) == {"dedup", "raytrace"}
         assert executor.stats.simulated == 4
         # the runner's in-memory memo preserves object identity
-        again = runner.run("dedup", "proposed")
+        again = runner.submit([runner.spec_for("dedup", "proposed")])[0]
         assert again is grid["dedup"].runs["proposed"]

@@ -99,17 +99,26 @@ class TestFigureData:
 
 
 class TestRunner:
-    def test_run_caches(self, runner):
-        first = runner.run("bodytrack", "proposed")
-        second = runner.run("bodytrack", "proposed")
+    def test_submit_memoises(self, runner):
+        spec = runner.spec_for("bodytrack", "proposed")
+        first = runner.submit([spec])[0]
+        second = runner.submit([spec])[0]
         assert first is second
 
+    def test_run_shim_warns_but_works(self, runner):
+        with pytest.warns(DeprecationWarning, match="RunSpec"):
+            result = runner.run("bodytrack", "proposed")
+        spec = runner.spec_for("bodytrack", "proposed")
+        assert result is runner.submit([spec])[0]
+
     def test_baseline_specs_single_module(self, runner):
-        dram_run = runner.run("bodytrack", "dram-only")
+        dram_run, nvm_run, hybrid = runner.submit([
+            runner.spec_for("bodytrack", "dram-only"),
+            runner.spec_for("bodytrack", "nvm-only"),
+            runner.spec_for("bodytrack", "proposed"),
+        ])
         assert dram_run.spec.nvm_pages == 0
-        nvm_run = runner.run("bodytrack", "nvm-only")
         assert nvm_run.spec.dram_pages == 0
-        hybrid = runner.run("bodytrack", "proposed")
         assert dram_run.spec.total_pages == hybrid.spec.total_pages
 
     def test_grid_covers_requested_cells(self, runner):
@@ -147,8 +156,10 @@ class TestFigures:
 
     def test_fig4c_normalises_to_clock_dwf(self, runner):
         figure = build_figure("fig4c", runner)
-        dwf = runner.run("bodytrack", "clock-dwf")
-        proposed = runner.run("bodytrack", "proposed")
+        dwf, proposed = runner.submit([
+            runner.spec_for("bodytrack", "clock-dwf"),
+            runner.spec_for("bodytrack", "proposed"),
+        ])
         expected = (proposed.performance.memory_time
                     / dwf.performance.memory_time)
         assert figure.totals()["bodytrack"] == pytest.approx(expected)

@@ -128,8 +128,8 @@ class TestRegistry:
             policy_factory("no-such-policy")
 
     def test_register_custom_policy(self):
-        factory = proposed_with(MigrationConfig(read_threshold=3,
-                                                write_threshold=1))
+        factory = policy_factory("proposed", {"read_threshold": 3,
+                                              "write_threshold": 1})
         register_policy("custom-test-policy", factory)
         try:
             policy = make_policy("custom-test-policy",
@@ -142,3 +142,11 @@ class TestRegistry:
     def test_double_registration_rejected(self):
         with pytest.raises(ValueError):
             register_policy("proposed", lambda mm: None)
+
+    def test_proposed_with_deprecated_but_works(self):
+        with pytest.warns(DeprecationWarning, match="policy_factory"):
+            factory = proposed_with(MigrationConfig(read_threshold=3,
+                                                    write_threshold=1))
+        policy = factory(MemoryManager(_hybrid_spec()))
+        assert policy.read_threshold == 3
+        assert policy.write_threshold == 1
