@@ -1,0 +1,401 @@
+"""Mechanical fixes for the mechanically fixable rules (R003, R005).
+
+``repro lint --fix`` rewrites, in place:
+
+* **R003** — a mutable default argument becomes ``None`` plus an
+  ``if arg is None: arg = <original>`` guard at the top of the body
+  (after the docstring), the standard idiom the rule's message asks
+  for.
+* **R005** — an inline magic latency/energy number in the device-model
+  layer becomes ``<coeff> * <UNIT>`` over the constants in
+  :mod:`repro.memory.devices`, adding/extending the import.  A fix is
+  only applied when the rewritten expression reproduces the original
+  float *bit-exactly*; anything else is left for a human.
+
+Both fixes are idempotent: the rewritten form no longer matches the
+rule, so a second ``--fix`` pass is a no-op (asserted by tests).  Only
+single-line offending expressions are rewritten — multi-line spans are
+skipped rather than risked.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import canonical_id
+from repro.analysis.lint import iter_python_files
+from repro.analysis.rules import MagicNumberRule, MutableDefaultRule
+
+#: Rules ``--fix`` knows how to rewrite.
+FIXABLE_RULES: tuple[str, ...] = ("R003", "R005")
+
+#: Unit constants (name, value) per keyword fragment, largest first —
+#: the fixer picks the largest unit with an exact coefficient.
+_UNIT_TABLES: dict[str, tuple[tuple[str, float], ...]] = {
+    "latency": (
+        ("MILLISECOND", 1e-3),
+        ("MICROSECOND", 1e-6),
+        ("NANOSECOND", 1e-9),
+    ),
+    "energy": (
+        ("NANOJOULE", 1e-9),
+    ),
+}
+
+_UNITS_MODULE = "repro.memory.devices"
+
+
+@dataclass(frozen=True, order=True)
+class Fix:
+    """One applied rewrite, for reporting."""
+
+    path: str
+    line: int
+    rule_id: str
+    description: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.description}"
+
+
+@dataclass(frozen=True)
+class _Replacement:
+    line: int  # 1-based
+    col: int
+    end_col: int
+    text: str
+
+
+@dataclass(frozen=True)
+class _Insertion:
+    before_line: int  # 1-based line the new lines go in front of
+    lines: tuple[str, ...]
+
+
+def _single_line(node: ast.expr) -> bool:
+    return getattr(node, "end_lineno", None) == node.lineno
+
+
+def _line_starts_clean(lines: list[str], lineno: int, col: int) -> bool:
+    """True when ``lines[lineno-1][:col]`` is pure indentation."""
+    if not 1 <= lineno <= len(lines):
+        return False
+    return lines[lineno - 1][:col].strip() == ""
+
+
+# ----------------------------------------------------------------------
+# R003 — mutable defaults -> None + guard
+# ----------------------------------------------------------------------
+def _default_pairs(
+    args: ast.arguments,
+) -> list[tuple[str, ast.expr]]:
+    positional = [*args.posonlyargs, *args.args]
+    pairs: list[tuple[str, ast.expr]] = [
+        (arg.arg, default)
+        for arg, default in zip(
+            positional[len(positional) - len(args.defaults):],
+            args.defaults,
+        )
+    ]
+    pairs.extend(
+        (arg.arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+        if default is not None
+    )
+    return pairs
+
+
+def _fix_mutable_defaults(
+    tree: ast.Module, text: str, lines: list[str], path: str
+) -> tuple[list[_Replacement], list[_Insertion], list[Fix]]:
+    replacements: list[_Replacement] = []
+    insertions: list[_Insertion] = []
+    fixes: list[Fix] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        guards: list[tuple[str, str]] = []
+        start = len(replacements)
+        for arg_name, default in _default_pairs(node.args):
+            if not MutableDefaultRule._is_mutable(default):
+                continue
+            if not _single_line(default):
+                continue
+            source = ast.get_source_segment(text, default)
+            if source is None:
+                continue
+            end_col = getattr(default, "end_col_offset", None)
+            if end_col is None:
+                continue
+            replacements.append(_Replacement(
+                line=default.lineno,
+                col=default.col_offset,
+                end_col=end_col,
+                text="None",
+            ))
+            guards.append((arg_name, source))
+            fixes.append(Fix(
+                path=path, line=default.lineno, rule_id="R003",
+                description=(
+                    f"default `{arg_name}={source}` -> None + in-body "
+                    "guard"
+                ),
+            ))
+        if not guards:
+            continue
+        anchor_index = 0
+        body = node.body
+        if (
+            len(body) > 1
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            anchor_index = 1
+        anchor = body[anchor_index]
+        indent = " " * anchor.col_offset
+        if not _line_starts_clean(lines, anchor.lineno, anchor.col_offset):
+            # Single-line bodies (``def f(x=[]): return x``) are left
+            # alone; there is nowhere safe to put the guard.
+            del replacements[start:]
+            del fixes[len(fixes) - len(guards):]
+            continue
+        guard_lines: list[str] = []
+        for arg_name, source in guards:
+            guard_lines.append(f"{indent}if {arg_name} is None:")
+            guard_lines.append(f"{indent}    {arg_name} = {source}")
+        insertions.append(_Insertion(
+            before_line=anchor.lineno, lines=tuple(guard_lines),
+        ))
+    return replacements, insertions, fixes
+
+
+# ----------------------------------------------------------------------
+# R005 — magic device numbers -> coeff * UNIT
+# ----------------------------------------------------------------------
+def _format_coefficient(value: float, unit_value: float) -> str | None:
+    """A *clean* source string ``c`` with ``float(c) * unit_value ==
+    value`` bit-exactly, or None.
+
+    Only short candidates (the rounded integer and the ``%g`` form)
+    are tried: where no clean coefficient reproduces the float, the
+    number is left alone for a human rather than rewritten as a
+    17-digit repr or nudged by an ulp.
+    """
+    coefficient = value / unit_value
+    candidates = []
+    rounded = round(coefficient)
+    if rounded != 0:
+        candidates.append(str(int(rounded)))
+    candidates.append(f"{coefficient:g}")
+    for candidate in candidates:
+        try:
+            if float(candidate) * unit_value == value:
+                return candidate
+        except ValueError:  # pragma: no cover - defensive
+            continue
+    return None
+
+
+def _pick_unit(
+    keyword_name: str, value: float
+) -> tuple[str, str] | None:
+    """``(coefficient_source, unit_name)`` for a magic number."""
+    for fragment, table in _UNIT_TABLES.items():
+        if fragment not in keyword_name.lower():
+            continue
+        magnitude = abs(value)
+        for unit_name, unit_value in table:
+            if magnitude < unit_value:
+                continue
+            coefficient = _format_coefficient(value, unit_value)
+            if coefficient is not None:
+                return coefficient, unit_name
+        # Smaller than the smallest unit: try fractional coefficients.
+        unit_name, unit_value = table[-1]
+        coefficient = _format_coefficient(value, unit_value)
+        if coefficient is not None:
+            return coefficient, unit_name
+    return None
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def _fix_magic_numbers(
+    tree: ast.Module, lines: list[str], path: Path
+) -> tuple[list[_Replacement], list[_Insertion], list[Fix]]:
+    rule = MagicNumberRule()
+    if rule.scope_dir not in path.parts:
+        return [], [], []
+    replacements: list[_Replacement] = []
+    fixes: list[Fix] = []
+    needed_units: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            lowered = keyword.arg.lower()
+            if not any(frag in lowered for frag in rule.keywords):
+                continue
+            if not rule._is_magic(keyword.value):
+                continue
+            target = keyword.value
+            value = target.operand.value \
+                if isinstance(target, ast.UnaryOp) else target.value
+            sign = "-" if isinstance(target, ast.UnaryOp) else ""
+            if not _single_line(target):
+                continue
+            picked = _pick_unit(keyword.arg, float(value))
+            if picked is None:
+                continue
+            coefficient, unit_name = picked
+            end_col = getattr(target, "end_col_offset", None)
+            if end_col is None:
+                continue
+            replacements.append(_Replacement(
+                line=target.lineno,
+                col=target.col_offset,
+                end_col=end_col,
+                text=f"{sign}{coefficient} * {unit_name}",
+            ))
+            needed_units.add(unit_name)
+            fixes.append(Fix(
+                path=str(path), line=target.lineno, rule_id="R005",
+                description=(
+                    f"`{keyword.arg}={sign}{value}` -> "
+                    f"{sign}{coefficient} * {unit_name}"
+                ),
+            ))
+    insertions = _import_edits(tree, lines, needed_units, replacements)
+    return replacements, insertions, fixes
+
+
+def _import_edits(
+    tree: ast.Module,
+    lines: list[str],
+    needed_units: set[str],
+    replacements: list[_Replacement],
+) -> list[_Insertion]:
+    already = _module_level_names(tree)
+    missing = sorted(needed_units - already)
+    if not missing:
+        return []
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ImportFrom) \
+                and stmt.module == _UNITS_MODULE and stmt.level == 0 \
+                and stmt.end_lineno == stmt.lineno:
+            names = sorted(
+                {alias.name for alias in stmt.names} | set(missing)
+            )
+            replacements.append(_Replacement(
+                line=stmt.lineno,
+                col=stmt.col_offset,
+                end_col=len(lines[stmt.lineno - 1]),
+                text=f"from {_UNITS_MODULE} import {', '.join(names)}",
+            ))
+            return []
+    insert_line = 1
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            insert_line = (stmt.end_lineno or stmt.lineno) + 1
+        elif isinstance(stmt, ast.Expr) \
+                and isinstance(stmt.value, ast.Constant) \
+                and isinstance(stmt.value.value, str) \
+                and insert_line == 1:
+            insert_line = (stmt.end_lineno or stmt.lineno) + 1
+    return [_Insertion(
+        before_line=insert_line,
+        lines=(f"from {_UNITS_MODULE} import {', '.join(missing)}",),
+    )]
+
+
+# ----------------------------------------------------------------------
+# Application
+# ----------------------------------------------------------------------
+def _apply(
+    lines: list[str],
+    replacements: list[_Replacement],
+    insertions: list[_Insertion],
+) -> list[str]:
+    for replacement in sorted(
+        replacements, key=lambda r: (r.line, r.col), reverse=True
+    ):
+        row = lines[replacement.line - 1]
+        lines[replacement.line - 1] = (
+            row[:replacement.col] + replacement.text
+            + row[replacement.end_col:]
+        )
+    for insertion in sorted(
+        insertions, key=lambda i: i.before_line, reverse=True
+    ):
+        index = insertion.before_line - 1
+        lines[index:index] = list(insertion.lines)
+    return lines
+
+
+def fix_file(path: Path, select: set[str] | None = None) -> list[Fix]:
+    """Rewrite one file in place; returns the fixes applied."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError:
+        return []
+    lines = text.splitlines()
+    trailing_newline = text.endswith("\n")
+    replacements: list[_Replacement] = []
+    insertions: list[_Insertion] = []
+    fixes: list[Fix] = []
+    if select is None or "R003" in select:
+        rep, ins, fix = _fix_mutable_defaults(tree, text, lines, str(path))
+        replacements += rep
+        insertions += ins
+        fixes += fix
+    if select is None or "R005" in select:
+        rep, ins, fix = _fix_magic_numbers(tree, lines, path)
+        replacements += rep
+        insertions += ins
+        fixes += fix
+    if not fixes:
+        return []
+    new_lines = _apply(list(lines), replacements, insertions)
+    new_text = "\n".join(new_lines) + ("\n" if trailing_newline else "")
+    try:
+        ast.parse(new_text)  # never write a file we broke
+    except SyntaxError:  # pragma: no cover - safety valve
+        return []
+    path.write_text(new_text, encoding="utf-8")
+    return sorted(fixes)
+
+
+def fix_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+) -> list[Fix]:
+    """Apply the mechanical fixes across ``paths``; returns them all."""
+    wanted: set[str] | None = None
+    if select is not None:
+        wanted = {canonical_id(rule_id) for rule_id in select}
+        wanted &= set(FIXABLE_RULES)
+    fixes: list[Fix] = []
+    for path in iter_python_files(paths):
+        fixes.extend(fix_file(path, wanted))
+    return sorted(fixes)

@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
+import json
 import sys
 from typing import Sequence, TextIO
 
+from repro.analysis.autofix import fix_paths
+from repro.analysis.findings import Finding
+from repro.analysis.interproc.interproc_rules import DEEP_RULES
 from repro.analysis.lint import lint_paths
 from repro.analysis.rules import DEFAULT_RULES
+
+#: Output formats ``run_lint`` understands.
+FORMATS = ("text", "json", "github")
 
 
 def list_rules(stream: TextIO | None = None) -> int:
@@ -16,25 +23,85 @@ def list_rules(stream: TextIO | None = None) -> int:
         aliases = getattr(rule, "aliases", ())
         alias_note = f" (alias: {', '.join(aliases)})" if aliases else ""
         print(f"{rule.rule_id}  {rule.title}{alias_note}", file=stream)
+    for rule in DEEP_RULES:
+        aliases = getattr(rule, "aliases", ())
+        alias_note = f" (alias: {', '.join(aliases)})" if aliases else ""
+        print(f"{rule.rule_id}  {rule.title}{alias_note} (deep)",
+              file=stream)
     return 0
+
+
+def _render_text(findings: Sequence[Finding], stream: TextIO) -> None:
+    for finding in findings:
+        print(finding.render(), file=stream)
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun}", file=stream)
+
+
+def _render_json(findings: Sequence[Finding], stream: TextIO) -> None:
+    payload = {
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule_id": finding.rule_id,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "count": len(findings),
+    }
+    print(json.dumps(payload, indent=2), file=stream)
+
+
+def _render_github(findings: Sequence[Finding], stream: TextIO) -> None:
+    """GitHub Actions workflow-command annotations."""
+    for finding in findings:
+        message = f"{finding.rule_id} {finding.message}"
+        print(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col}::{message}",
+            file=stream,
+        )
+
+
+_RENDERERS = {
+    "text": _render_text,
+    "json": _render_json,
+    "github": _render_github,
+}
 
 
 def run_lint(
     paths: Sequence[str],
     select: Sequence[str] | None = None,
     stream: TextIO | None = None,
+    *,
+    deep: bool = False,
+    fmt: str = "text",
+    fix: bool = False,
 ) -> int:
-    """Lint ``paths``; returns 0 when clean, 1 on findings, 2 on usage."""
+    """Lint ``paths``; returns 0 when clean, 1 on findings, 2 on usage.
+
+    ``deep`` adds the interprocedural tier (R013-R015); ``fmt`` picks
+    the output renderer (``text``/``json``/``github``); ``fix`` first
+    applies the mechanical R003/R005 rewrites, then lints what remains.
+    """
     stream = stream if stream is not None else sys.stdout
+    renderer = _RENDERERS.get(fmt)
+    if renderer is None:
+        print(f"repro lint: unknown format {fmt!r} "
+              f"(expected one of {', '.join(FORMATS)})", file=sys.stderr)
+        return 2
     try:
-        findings = lint_paths(paths, select=select)
+        if fix:
+            for applied in fix_paths(paths, select=select):
+                print(f"fixed {applied.render()}", file=stream)
+        findings = lint_paths(paths, select=select, deep=deep)
     except FileNotFoundError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.render(), file=stream)
-    if findings:
-        noun = "finding" if len(findings) == 1 else "findings"
-        print(f"{len(findings)} {noun}", file=stream)
-        return 1
-    return 0
+    renderer(findings, stream)
+    return 1 if findings else 0

@@ -9,6 +9,30 @@ from dataclasses import dataclass
 #: offending line silence the listed rules (or every rule when bare).
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<ids>[A-Z0-9,\s]+))?", re.IGNORECASE)
 
+#: Historical rule id -> current rule id.  Rules that supersede an
+#: older rule register the old id here once; ``--select`` resolution
+#: and ``# noqa`` suppression both consult this table, so neither the
+#: driver nor the rule classes special-case individual renames.
+RULE_ALIASES: dict[str, str] = {
+    # R001 (abstract path-enumeration accounting checker, PR 1) was
+    # re-implemented on the fixpoint engine as R010.
+    "R001": "R010",
+}
+
+
+def canonical_id(rule_id: str) -> str:
+    """Resolve a possibly-historical rule id to its current id."""
+    rule_id = rule_id.strip().upper()
+    return RULE_ALIASES.get(rule_id, rule_id)
+
+
+def aliases_of(rule_id: str) -> tuple[str, ...]:
+    """Historical ids that resolve to ``rule_id`` (sorted)."""
+    canonical = canonical_id(rule_id)
+    return tuple(sorted(
+        old for old, new in RULE_ALIASES.items() if new == canonical
+    ))
+
 
 @dataclass(frozen=True, order=True)
 class Finding:
@@ -32,8 +56,10 @@ def suppressed(
 ) -> bool:
     """True when the finding's line carries a matching ``noqa`` comment.
 
-    ``aliases`` lists historical ids the finding's rule also answers to
+    Ids listed in the comment are resolved through :data:`RULE_ALIASES`
     (e.g. ``# noqa: R001`` keeps silencing the R010 successor).
+    ``aliases`` adds further ids the finding's rule answers to, for
+    rules that carry ad hoc aliases beyond the shared table.
     """
     if not 1 <= finding.line <= len(source_lines):
         return False
@@ -43,6 +69,11 @@ def suppressed(
     ids = match.group("ids")
     if ids is None:
         return True
-    wanted = {part.strip().upper() for part in ids.split(",") if part.strip()}
-    accepted = {finding.rule_id.upper(), *(alias.upper() for alias in aliases)}
+    wanted = {
+        canonical_id(part) for part in ids.split(",") if part.strip()
+    }
+    accepted = {
+        canonical_id(finding.rule_id),
+        *(canonical_id(alias) for alias in aliases),
+    }
     return bool(accepted & wanted)

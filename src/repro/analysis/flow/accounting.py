@@ -22,7 +22,7 @@ import copy
 from typing import Iterator
 
 from repro.analysis.context import ProjectContext, SourceFile, is_abstract
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, aliases_of
 from repro.analysis.flow.cfg import SCOPE_STMTS, build_cfg, head_expressions
 from repro.analysis.flow.engine import FlowAnalysis, solve_forward
 
@@ -100,7 +100,7 @@ class AccountingRule:
     """
 
     rule_id = "R010"
-    aliases = ("R001",)
+    aliases = aliases_of("R010")
     title = "policy access() must call mm.record_request exactly once"
 
     def check(self, src: SourceFile, project: ProjectContext) -> Iterator[Finding]:

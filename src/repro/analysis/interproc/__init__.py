@@ -1,0 +1,41 @@
+"""Interprocedural analysis: call graph, summaries, deep lint rules."""
+
+from repro.analysis.interproc.callgraph import (
+    DEFAULT_DEPTH,
+    WORKER_LOCAL_MARKER,
+    CallGraph,
+    FunctionInfo,
+    ModuleIndex,
+    build_module_index,
+)
+from repro.analysis.interproc.interproc_rules import (
+    DEEP_RULES,
+    DigestStabilityRule,
+    SyncBeforeEmitRule,
+    WorkerPurityRule,
+)
+from repro.analysis.interproc.summaries import (
+    DirectEffects,
+    MutationSite,
+    ProjectSummaries,
+    Summary,
+    summarize,
+)
+
+__all__ = [
+    "DEFAULT_DEPTH",
+    "WORKER_LOCAL_MARKER",
+    "CallGraph",
+    "FunctionInfo",
+    "ModuleIndex",
+    "build_module_index",
+    "DEEP_RULES",
+    "DigestStabilityRule",
+    "SyncBeforeEmitRule",
+    "WorkerPurityRule",
+    "DirectEffects",
+    "MutationSite",
+    "ProjectSummaries",
+    "Summary",
+    "summarize",
+]

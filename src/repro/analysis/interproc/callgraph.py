@@ -1,0 +1,655 @@
+"""Project-wide call graph for the interprocedural lint tier.
+
+The intraprocedural engine (:mod:`repro.analysis.flow`) answers "what
+happens on the paths through *this* function"; the deep rules
+(R013-R015) need the complementary question — "what does calling this
+function *do*, transitively".  This module builds the project call
+graph they walk:
+
+* a :class:`ModuleIndex` per file — its functions (including nested
+  ones), classes, module-level globals and import aliases — memoised
+  on the file's ``(mtime_ns, size)`` stat signature, the same scheme
+  the executor's ``code_version`` uses, so repeated ``--deep`` runs
+  re-index only files that changed;
+* name resolution from call sites to function definitions:
+  module-level functions by name and import alias, constructors to
+  ``__init__``/``__post_init__``, ``self.m()`` over the enclosing
+  class hierarchy (ancestors *and* overriding descendants — a virtual
+  call may land in either), and generic ``x.m()`` against every class
+  defining ``m``;
+* a bounded-depth reachability closure (:meth:`CallGraph.reachable`)
+  returning, for every reached function, the call chain from its seed
+  — the evidence the worker-purity rule prints.
+
+Resolution is deliberately an over-approximation: dispatch that cannot
+be narrowed fans out to every candidate, and call sites that resolve
+to nothing known are recorded per function in
+:attr:`CallGraph.unknown_calls` so summaries can report "calls unknown
+callable" instead of silently assuming purity.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.analysis.context import SourceFile
+from repro.analysis.flow.cfg import SCOPE_STMTS
+
+#: Marker comment that declares a module-level mutable as intentionally
+#: per-process (each pool worker mutates its own copy after fork/spawn,
+#: so there is no shared-state race for R013 to report).
+WORKER_LOCAL_MARKER = "repro: worker-local"
+
+#: Default bound on the reachability closure depth.
+DEFAULT_DEPTH = 16
+
+#: Builtins whose calls are fully understood (no project code runs).
+PURE_BUILTINS = frozenset({
+    "abs", "all", "any", "bool", "bytes", "callable", "chr", "complex",
+    "dict", "divmod", "enumerate", "filter", "float", "format",
+    "frozenset", "getattr", "hasattr", "hash", "id", "int", "isinstance",
+    "issubclass", "iter", "len", "list", "map", "max", "memoryview",
+    "min", "next", "object", "ord", "range", "repr", "reversed", "round",
+    "set", "slice", "sorted", "str", "sum", "super", "tuple", "type",
+    "vars", "zip",
+    # Exception constructors: ``raise ValueError(...)`` is not a call
+    # into project code.
+    "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
+    "Exception", "FileNotFoundError", "IndexError", "KeyError",
+    "LookupError", "NotImplementedError", "OSError", "OverflowError",
+    "RuntimeError", "StopIteration", "TypeError", "ValueError",
+    "ZeroDivisionError",
+})
+
+#: Builtins that perform I/O when called.
+IO_BUILTINS = frozenset({"print", "open", "input", "breakpoint"})
+
+#: Method names treated as builtin container/string operations when no
+#: project class defines a method of that name.
+BENIGN_METHODS = frozenset({
+    "append", "extend", "insert", "add", "discard", "remove", "pop",
+    "popitem", "clear", "update", "setdefault", "sort", "reverse",
+    "copy", "get", "items", "keys", "values", "join", "split",
+    "rsplit", "strip", "lstrip", "rstrip", "startswith", "endswith",
+    "format", "encode", "decode", "lower", "upper", "replace", "count",
+    "index", "find", "rfind", "zfill", "hexdigest", "digest",
+    "appendleft", "popleft", "most_common", "total_seconds", "bit_length",
+    "to_bytes", "from_bytes", "is_integer", "as_integer_ratio",
+    "isdigit", "isalpha", "splitlines", "title", "capitalize",
+})
+
+#: ``multiprocessing``/``concurrent.futures`` methods whose first
+#: callable argument runs in another process: the pool-submission
+#: sites the worker-purity rule seeds from.
+POOL_SUBMIT_METHODS = frozenset({
+    "imap", "imap_unordered", "map", "map_async", "starmap",
+    "starmap_async", "apply", "apply_async", "submit",
+})
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name for ``path``, anchored at ``repro``/``src``.
+
+    Falls back to the last two path components for files outside a
+    recognisable package root (fixture trees in tests).
+    """
+    parts = list(path.with_suffix("").parts)
+    anchored = False
+    for anchor in ("repro", "src"):
+        if anchor in parts:
+            index = len(parts) - 1 - parts[::-1].index(anchor)
+            if anchor == "src":
+                index += 1
+            parts = parts[index:]
+            anchored = True
+            break
+    if not anchored:
+        parts = parts[-2:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def inline_nodes(
+    node: ast.AST, *, into_lambda: bool = True
+) -> Iterator[ast.AST]:
+    """Descendants of ``node`` that execute inline with it.
+
+    Skips nested function/class definitions (their bodies run when
+    *called*, not here); lambdas are included by default because their
+    bodies typically run within the same dynamic extent (sort keys,
+    filters), and excluded on request for strictly-sequential analyses.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, SCOPE_STMTS):
+            continue
+        if isinstance(child, ast.Lambda) and not into_lambda:
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def collect_scope(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[frozenset[str], frozenset[str], frozenset[str]]:
+    """``(local names, global decls, nonlocal decls)`` of ``func``.
+
+    Locals include parameters and every name bound inline (assignment,
+    loop target, ``with ... as``, walrus, handler name, in-function
+    imports), minus the ``global``/``nonlocal`` declarations.
+    """
+    args = func.args
+    names: set[str] = {
+        arg.arg
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *( [args.vararg] if args.vararg else [] ),
+            *( [args.kwarg] if args.kwarg else [] ),
+        )
+    }
+    globals_: set[str] = set()
+    nonlocals: set[str] = set()
+    for node in inline_nodes(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.Global):
+            globals_.update(node.names)
+        elif isinstance(node, ast.Nonlocal):
+            nonlocals.update(node.names)
+    return (
+        frozenset(names - globals_ - nonlocals),
+        frozenset(globals_),
+        frozenset(nonlocals),
+    )
+
+
+def build_aliases(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, tuple[str, str]]:
+    """Single-assignment local aliases used to sharpen resolution.
+
+    Maps a local name to ``("attr", a)`` when bound from ``<expr>.a``
+    (``bus = mm.events`` makes ``bus`` an events-attribute alias) or to
+    ``("name", n)`` when bound from another plain name.  Names bound
+    more than once, or from anything else, resolve to nothing here.
+    """
+    aliases: dict[str, tuple[str, str]] = {}
+    seen: set[str] = set()
+
+    def bind(name: str) -> bool:
+        """Record one binding of ``name``; True on the first sighting.
+
+        Traversal order is arbitrary, so *any* second binding kills the
+        alias regardless of which assignment was visited first.
+        """
+        if name in seen:
+            aliases.pop(name, None)
+            return False
+        seen.add(name)
+        return True
+
+    for node in inline_nodes(func):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        if isinstance(node, ast.Assign) and len(targets) == 1 \
+                and isinstance(targets[0], ast.Name):
+            if bind(targets[0].id):
+                if isinstance(node.value, ast.Attribute):
+                    aliases[targets[0].id] = ("attr", node.value.attr)
+                elif isinstance(node.value, ast.Name):
+                    aliases[targets[0].id] = ("name", node.value.id)
+            continue
+        for target in targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name) \
+                        and isinstance(leaf.ctx, ast.Store):
+                    bind(leaf.id)
+    return aliases
+
+
+def attribute_base(node: ast.expr) -> tuple[str | None, list[str]]:
+    """Root name and attribute path of a ``a.b.c``-style chain.
+
+    ``mm.accounting.read_requests`` -> ``("mm", ["accounting",
+    "read_requests"])``; returns ``(None, [])`` when the chain is not
+    rooted at a plain name (e.g. a call result).
+    """
+    attrs: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        attrs.append(current.attr)
+        current = current.value
+    while isinstance(current, ast.Subscript):
+        current = current.value
+        while isinstance(current, ast.Attribute):
+            attrs.append(current.attr)
+            current = current.value
+    if isinstance(current, ast.Name):
+        return current.id, list(reversed(attrs))
+    return None, []
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qname: str
+    module: str
+    path: str
+    name: str
+    cls: str | None
+    parent: str | None
+    line: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: tuple[str, ...]
+    local_names: frozenset[str] = frozenset()
+    global_decls: frozenset[str] = frozenset()
+    nonlocal_decls: frozenset[str] = frozenset()
+
+
+@dataclass
+class ModuleIndex:
+    """Per-file slice of the call graph (memoised by stat signature)."""
+
+    module: str
+    path: str
+    functions: list[FunctionInfo] = field(default_factory=list)
+    classes: dict[str, list[str]] = field(default_factory=dict)
+    module_globals: dict[str, int] = field(default_factory=dict)
+    imports: dict[str, str] = field(default_factory=dict)
+    worker_local: frozenset[str] = frozenset()
+
+
+def _resolve_relative(base_module: str, node: ast.ImportFrom) -> str:
+    parts = base_module.split(".")
+    if node.level > 0:
+        parts = parts[: max(len(parts) - node.level, 0)]
+        prefix = ".".join(parts)
+    else:
+        prefix = ""
+    if node.module:
+        return f"{prefix}.{node.module}" if prefix else node.module
+    return prefix
+
+
+def build_module_index(src: SourceFile) -> ModuleIndex:
+    """Index one parsed file: functions, classes, globals, imports."""
+    module = module_name(src.path)
+    index = ModuleIndex(module=module, path=str(src.path))
+    lines = src.lines
+    for stmt in src.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            elts = target.elts if isinstance(target, ast.Tuple) else [target]
+            for elt in elts:
+                if isinstance(elt, ast.Name):
+                    index.module_globals.setdefault(elt.id, stmt.lineno)
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else local
+                index.imports[local] = origin
+        elif isinstance(stmt, ast.ImportFrom):
+            origin_module = _resolve_relative(module, stmt)
+            for alias in stmt.names:
+                local = alias.asname or alias.name
+                index.imports[local] = (
+                    f"{origin_module}.{alias.name}" if origin_module
+                    else alias.name
+                )
+    marked = {
+        name for name, line in index.module_globals.items()
+        if 1 <= line <= len(lines) and WORKER_LOCAL_MARKER in lines[line - 1]
+    }
+    index.worker_local = frozenset(marked)
+    _index_functions(index, src.tree.body, cls=None, parent=None)
+    return index
+
+
+def _index_functions(
+    index: ModuleIndex,
+    body: Sequence[ast.stmt],
+    cls: str | None,
+    parent: str | None,
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if parent is not None:
+                qname = f"{parent}.<locals>.{stmt.name}"
+            elif cls is not None:
+                qname = f"{index.module}.{cls}.{stmt.name}"
+            else:
+                qname = f"{index.module}.{stmt.name}"
+            args = stmt.args
+            params = tuple(
+                arg.arg for arg in
+                (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            )
+            local_names, global_decls, nonlocal_decls = collect_scope(stmt)
+            index.functions.append(FunctionInfo(
+                qname=qname,
+                module=index.module,
+                path=index.path,
+                name=stmt.name,
+                cls=cls,
+                parent=parent,
+                line=stmt.lineno,
+                node=stmt,
+                params=params,
+                local_names=local_names,
+                global_decls=global_decls,
+                nonlocal_decls=nonlocal_decls,
+            ))
+            _index_functions(index, stmt.body, cls=None, parent=qname)
+        elif isinstance(stmt, ast.ClassDef):
+            if cls is None and parent is None:
+                bases = [
+                    base.id if isinstance(base, ast.Name) else base.attr
+                    for base in stmt.bases
+                    if isinstance(base, (ast.Name, ast.Attribute))
+                ]
+                index.classes[stmt.name] = bases
+                _index_functions(index, stmt.body, cls=stmt.name, parent=None)
+            # Classes nested in functions/classes are rare enough to skip.
+
+
+#: Per-file index cache: path -> ((mtime_ns, size), index).
+_INDEX_CACHE: dict[str, tuple[tuple[int, int], ModuleIndex]] = {}  # repro: worker-local
+
+
+def indexed(src: SourceFile) -> ModuleIndex:
+    """The module index for ``src``, reusing the stat-signature cache."""
+    key = str(src.path)
+    try:
+        stat = src.path.stat()
+        signature: tuple[int, int] | None = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        signature = None
+    if signature is not None:
+        cached = _INDEX_CACHE.get(key)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+    index = build_module_index(src)
+    if signature is not None:
+        _INDEX_CACHE[key] = (signature, index)
+    return index
+
+
+@dataclass
+class CallGraph:
+    """Resolved call edges over every function in the linted files."""
+
+    indexes: dict[str, ModuleIndex] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    by_method: dict[str, list[str]] = field(default_factory=dict)
+    by_func_name: dict[str, list[str]] = field(default_factory=dict)
+    class_methods: dict[str, dict[str, str]] = field(default_factory=dict)
+    class_bases: dict[str, list[str]] = field(default_factory=dict)
+    class_module: dict[str, str] = field(default_factory=dict)
+    edges: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    unknown_calls: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    _related: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, files: Sequence[SourceFile]) -> "CallGraph":
+        graph = cls()
+        for src in files:
+            index = indexed(src)
+            graph.indexes[index.path] = index
+            for name, bases in index.classes.items():
+                graph.class_bases.setdefault(name, bases)
+                graph.class_module.setdefault(name, index.module)
+            for info in index.functions:
+                graph.functions[info.qname] = info
+                if info.cls is not None:
+                    graph.by_method.setdefault(info.name, []).append(
+                        info.qname)
+                    graph.class_methods.setdefault(
+                        info.cls, {})[info.name] = info.qname
+                elif info.parent is None:
+                    graph.by_func_name.setdefault(info.name, []).append(
+                        info.qname)
+        for info in graph.functions.values():
+            graph._build_edges(info)
+        return graph
+
+    def _build_edges(self, info: FunctionInfo) -> None:
+        aliases = build_aliases(info.node)
+        targets: list[str] = []
+        unknown_lines: list[int] = []
+        # Defining a nested function may mean calling it.
+        prefix = f"{info.qname}.<locals>."
+        for qname in self.functions:
+            if qname.startswith(prefix) \
+                    and "." not in qname[len(prefix):]:
+                targets.append(qname)
+        for node in inline_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved, unknown = self.resolve_call(info, node, aliases)
+            targets.extend(resolved)
+            if unknown:
+                unknown_lines.append(node.lineno)
+        self.edges[info.qname] = tuple(dict.fromkeys(targets))
+        if unknown_lines:
+            self.unknown_calls[info.qname] = tuple(unknown_lines)
+
+    # ------------------------------------------------------------------
+    # Class hierarchy
+    # ------------------------------------------------------------------
+    def related_classes(self, cls_name: str) -> frozenset[str]:
+        """``cls_name`` plus ancestors and descendants, by name."""
+        cached = self._related.get(cls_name)
+        if cached is not None:
+            return cached
+        related = {cls_name}
+        frontier = [cls_name]
+        while frontier:  # ancestors
+            current = frontier.pop()
+            for base in self.class_bases.get(current, []):
+                if base not in related:
+                    related.add(base)
+                    frontier.append(base)
+        changed = True
+        while changed:  # descendants (of anything already related)
+            changed = False
+            for name, bases in self.class_bases.items():
+                if name not in related and any(b in related for b in bases):
+                    related.add(name)
+                    changed = True
+        result = frozenset(related)
+        self._related[cls_name] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+    def resolve_call(
+        self,
+        info: FunctionInfo,
+        call: ast.Call,
+        aliases: dict[str, tuple[str, str]],
+    ) -> tuple[list[str], bool]:
+        """Possible targets of one call site: ``(qnames, unknown)``.
+
+        ``unknown`` is True when the callee cannot be mapped to any
+        known function, class or builtin — the caller's summary then
+        records "calls unknown callable".
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(info, func.id, aliases)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(info, func, aliases)
+        return [], True
+
+    def _resolve_name(
+        self,
+        info: FunctionInfo,
+        name: str,
+        aliases: dict[str, tuple[str, str]],
+        _depth: int = 0,
+    ) -> tuple[list[str], bool]:
+        alias = aliases.get(name)
+        if alias is not None and _depth < 4:
+            kind, value = alias
+            if kind == "name":
+                return self._resolve_name(info, value, aliases, _depth + 1)
+            return self._resolve_method(info, value)
+        if name in info.local_names and alias is None:
+            # A locally-bound callable we could not trace.
+            return [], True
+        index = self.indexes.get(info.path)
+        module = index.module if index is not None else info.module
+        direct = self.functions.get(f"{module}.{name}")
+        if direct is not None and direct.cls is None:
+            return [direct.qname], False
+        if name in self.class_methods or name in self.class_bases:
+            return self._constructor_targets(name), False
+        if index is not None and name in index.imports:
+            return self._resolve_import(index.imports[name])
+        if name in IO_BUILTINS or name in PURE_BUILTINS:
+            return [], False
+        return [], True
+
+    def _constructor_targets(self, cls_name: str) -> list[str]:
+        targets: list[str] = []
+        methods = self.class_methods.get(cls_name, {})
+        for special in ("__init__", "__post_init__"):
+            qname = methods.get(special)
+            if qname is not None:
+                targets.append(qname)
+        return targets
+
+    def _resolve_import(self, origin: str) -> tuple[list[str], bool]:
+        direct = self.functions.get(origin)
+        if direct is not None:
+            return [direct.qname], False
+        tail = origin.rsplit(".", 1)[-1]
+        if tail in self.class_methods or tail in self.class_bases:
+            return self._constructor_targets(tail), False
+        if origin.split(".")[0] == "repro":
+            # A repro symbol outside the linted file set.
+            return [], True
+        return [], False  # stdlib / third-party: well understood enough
+
+    def _resolve_attribute(
+        self,
+        info: FunctionInfo,
+        func: ast.Attribute,
+        aliases: dict[str, tuple[str, str]],
+    ) -> tuple[list[str], bool]:
+        method = func.attr
+        base, chain = attribute_base(func)
+        if base is None:
+            return self._resolve_method(info, method)
+        if base in ("self", "cls") and info.cls is not None and len(chain) == 1:
+            related = self.related_classes(info.cls)
+            targets = [
+                qname for qname in self.by_method.get(method, [])
+                if self.functions[qname].cls in related
+            ]
+            if targets:
+                return targets, False
+            return self._resolve_method(info, method)
+        index = self.indexes.get(info.path)
+        imported = index.imports.get(base) if index is not None else None
+        if imported is not None and base not in info.local_names:
+            if len(chain) == 1:
+                return self._resolve_import(f"{imported}.{method}")
+            return [], False
+        return self._resolve_method(info, method)
+
+    def _resolve_method(
+        self, info: FunctionInfo, method: str
+    ) -> tuple[list[str], bool]:
+        targets = self.by_method.get(method, [])
+        if targets:
+            return list(targets), False
+        if method in BENIGN_METHODS:
+            return [], False
+        return [], True
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def reachable(
+        self,
+        seeds: Sequence[str],
+        max_depth: int = DEFAULT_DEPTH,
+    ) -> dict[str, tuple[str, ...]]:
+        """Functions reachable from ``seeds`` within ``max_depth`` calls.
+
+        Maps each reached qname to its call chain ``(seed, ...,
+        qname)`` — the shortest one found, for diagnostics.
+        """
+        chains: dict[str, tuple[str, ...]] = {}
+        queue: deque[tuple[str, tuple[str, ...]]] = deque()
+        for seed in seeds:
+            if seed in self.functions and seed not in chains:
+                chains[seed] = (seed,)
+                queue.append((seed, (seed,)))
+        while queue:
+            qname, chain = queue.popleft()
+            if len(chain) > max_depth:
+                continue
+            for callee in self.edges.get(qname, ()):
+                if callee not in chains:
+                    chains[callee] = chain + (callee,)
+                    queue.append((callee, chain + (callee,)))
+        return chains
+
+    # ------------------------------------------------------------------
+    # Seed discovery
+    # ------------------------------------------------------------------
+    def pool_submissions(self) -> dict[str, str]:
+        """Callables handed to a worker pool: qname -> submitting site.
+
+        Scans every function for ``pool.imap_unordered(fn, ...)``-style
+        calls (:data:`POOL_SUBMIT_METHODS`) and resolves the callable
+        argument.
+        """
+        submitted: dict[str, str] = {}
+        for info in self.functions.values():
+            aliases = build_aliases(info.node)
+            for node in inline_nodes(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute) \
+                        or func.attr not in POOL_SUBMIT_METHODS:
+                    continue
+                candidates: list[ast.expr] = []
+                if node.args:
+                    candidates.append(node.args[0])
+                for keyword in node.keywords:
+                    if keyword.arg in ("func", "target"):
+                        candidates.append(keyword.value)
+                for candidate in candidates:
+                    if isinstance(candidate, ast.Name):
+                        resolved, _ = self._resolve_name(
+                            info, candidate.id, aliases)
+                        for qname in resolved:
+                            submitted.setdefault(
+                                qname, f"{info.qname}:{node.lineno}")
+        return submitted

@@ -1,0 +1,751 @@
+"""The deep lint tier: rules R013-R015 over the call graph.
+
+These rules guard the three places where the repo's concurrency and
+caching machinery can corrupt results silently instead of crashing:
+
+* **R013 (worker purity)** — functions reachable from code the
+  :class:`ParallelExecutor` ships to pool workers (the submitted
+  callables, ``RunSpec.execute``, and policy ``access``/
+  ``access_batch`` bodies) must not mutate module-level state or
+  closed-over cells: after fork/spawn each worker writes a private
+  copy, so such writes are lost, divergent, or racy depending on the
+  start method.  Intentional per-process caches opt out by marking the
+  *definition* line ``# repro: worker-local``.
+* **R014 (sync-before-emit)** — a batch kernel that defers request
+  accounting in local counters must fold the outstanding debt into
+  ``bus.clock`` before any call that can emit an event, and before
+  leaving the kernel (``return``/``raise``/fall-through), otherwise
+  event indexes drift from the per-request replay path.  Checked as a
+  forward may-have-debt dataflow over the kernel CFG; calls are
+  classified as emitting via the transitive summaries.
+* **R015 (digest stability)** — every type reachable from ``RunSpec``
+  identity fields must be frozen with a deterministic ``to_dict``, and
+  the digest's ``json.dumps`` must sort keys, so the content-addressed
+  result cache can never alias two different configurations or split
+  one across keys.
+
+All three share one project-wide analysis (call graph + summaries)
+memoised in ``project.scratch``, so a ``--deep`` run pays for it once
+regardless of file count.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.context import ProjectContext, SourceFile, is_abstract
+from repro.analysis.findings import Finding, aliases_of
+from repro.analysis.flow.accounting import _REQUEST_COUNTERS
+from repro.analysis.flow.cfg import (
+    SCOPE_STMTS,
+    build_cfg,
+    head_expressions,
+)
+from repro.analysis.flow.engine import FlowAnalysis, solve_forward
+from repro.analysis.interproc.callgraph import (
+    WORKER_LOCAL_MARKER,
+    CallGraph,
+    FunctionInfo,
+    build_aliases,
+)
+from repro.analysis.interproc.summaries import (
+    EMIT_METHODS,
+    ProjectSummaries,
+    bus_receiver_names,
+    summarize,
+)
+
+#: Bound on reachability for the worker-purity closure.
+WORKER_DEPTH = 16
+
+#: Field types that can never sit on a digest-stable identity.
+_UNSTABLE_TYPES = frozenset({
+    "list", "dict", "set", "bytearray", "List", "Dict", "Set",
+    "MutableMapping", "MutableSequence", "MutableSet", "defaultdict",
+    "Counter", "deque", "ndarray", "array",
+})
+
+#: Base classes that make a type identity-safe without a dataclass
+#: decorator (value-semantics builtins).
+_STABLE_BASES = frozenset({
+    "Enum", "IntEnum", "StrEnum", "IntFlag", "Flag", "NamedTuple",
+    "tuple", "str", "int", "float", "frozenset", "bytes",
+})
+
+
+@dataclass
+class _InterprocAnalysis:
+    """The shared per-run project analysis (graph + summaries)."""
+
+    graph: CallGraph
+    summaries: ProjectSummaries
+    seeds: dict[str, str] = field(default_factory=dict)
+    reachable: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+def project_analysis(project: ProjectContext) -> _InterprocAnalysis:
+    """Build (or reuse) the call graph and summaries for this run."""
+    cached = project.scratch.get("interproc")
+    if isinstance(cached, _InterprocAnalysis):
+        return cached
+    graph = CallGraph.build(project.files)
+    summaries = summarize(graph, project.files)
+    analysis = _InterprocAnalysis(graph=graph, summaries=summaries)
+    analysis.seeds = _worker_seeds(graph, project)
+    analysis.reachable = graph.reachable(
+        list(analysis.seeds), max_depth=WORKER_DEPTH)
+    project.scratch["interproc"] = analysis
+    return analysis
+
+
+def _worker_seeds(
+    graph: CallGraph, project: ProjectContext
+) -> dict[str, str]:
+    """Worker entry points: qname -> why it runs in a worker."""
+    seeds: dict[str, str] = {}
+    for qname, site in graph.pool_submissions().items():
+        seeds[qname] = f"submitted to a worker pool at {site}"
+    execute = graph.class_methods.get("RunSpec", {}).get("execute")
+    if execute is not None:
+        seeds.setdefault(execute, "RunSpec.execute runs inside workers")
+    for cls_name in project.policy_classes:
+        methods = graph.class_methods.get(cls_name, {})
+        for method in ("access", "access_batch"):
+            qname = methods.get(method)
+            if qname is not None:
+                seeds.setdefault(
+                    qname, f"policy {method} bodies run inside workers")
+    return seeds
+
+
+def _short_chain(graph: CallGraph, chain: tuple[str, ...]) -> str:
+    parts = []
+    for qname in chain:
+        info = graph.functions.get(qname)
+        if info is not None and qname.startswith(info.module + "."):
+            parts.append(qname[len(info.module) + 1:])
+        else:
+            parts.append(qname)
+    return " -> ".join(parts)
+
+
+class WorkerPurityRule:
+    """R013: worker-reachable code must not mutate shared module state."""
+
+    rule_id = "R013"
+    aliases = aliases_of("R013")
+    title = "worker-reachable code must not mutate shared module state"
+
+    def check(
+        self, src: SourceFile, project: ProjectContext
+    ) -> Iterator[Finding]:
+        analysis = project_analysis(project)
+        graph = analysis.graph
+        by_module = {
+            index.module: index for index in graph.indexes.values()
+        }
+        path = str(src.path)
+        seen: set[tuple[int, str]] = set()
+        for qname, chain in sorted(analysis.reachable.items()):
+            info = graph.functions.get(qname)
+            if info is None or info.path != path:
+                continue
+            effects = analysis.summaries.direct.get(qname)
+            if effects is None:
+                continue
+            for site in effects.sites:
+                if site.marked:
+                    continue
+                if site.kind == "global":
+                    module, _, name = site.slot.partition(":")
+                    owner = by_module.get(module)
+                    if owner is not None and name in owner.worker_local:
+                        continue
+                    what = f"module-level `{site.name}`"
+                    advice = (
+                        "each pool worker mutates a private copy; move the "
+                        "state into the task payload/result, or mark the "
+                        f"definition `# {WORKER_LOCAL_MARKER}` if it is an "
+                        "intentional per-process cache"
+                    )
+                elif site.kind == "cell":
+                    # A cell is only a cross-process hazard when the
+                    # closure was created *outside* the worker call tree
+                    # (the owning scope ran in the parent); accumulator
+                    # closures built inside a worker mutate worker-local
+                    # frames and are fine.
+                    owner = site.slot.rpartition(":")[0]
+                    if owner in analysis.reachable:
+                        continue
+                    what = f"closed-over `{site.name}`"
+                    advice = (
+                        "the closure cell lives in the parent process and "
+                        "is not shared back from workers; return the data "
+                        "instead"
+                    )
+                else:  # pragma: no cover - only two kinds exist
+                    continue
+                key = (site.line, site.slot)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Finding(
+                    path=path,
+                    line=site.line,
+                    col=1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{qname} mutates {what} but is worker-reachable "
+                        f"({analysis.seeds.get(chain[0], 'worker entry')}; "
+                        f"chain: {_short_chain(graph, chain)}); {advice}"
+                    ),
+                )
+
+
+# ----------------------------------------------------------------------
+# R014 — sync-before-emit
+# ----------------------------------------------------------------------
+class _BusGuardSplicer(ast.NodeTransformer):
+    """Inline ``if <bus> is not None:`` guards.
+
+    The kernels only touch the bus under such guards; analysing the
+    bus-attached world means treating the guarded block as always
+    executed.  Only guards with no ``else`` are spliced.
+    """
+
+    def __init__(self, bus_names: frozenset[str]) -> None:
+        self.bus_names = bus_names
+
+    def visit_If(self, node: ast.If) -> ast.AST | list[ast.stmt]:
+        self.generic_visit(node)
+        test = node.test
+        if (
+            not node.orelse
+            and isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id in self.bus_names
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.IsNot)
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return list(node.body)
+        return node
+
+
+def _is_flush(stmt: ast.stmt, bus_names: frozenset[str]) -> bool:
+    """A ``bus.clock += ...`` fold of the deferred counters."""
+    return (
+        isinstance(stmt, ast.AugAssign)
+        and isinstance(stmt.op, ast.Add)
+        and isinstance(stmt.target, ast.Attribute)
+        and stmt.target.attr == "clock"
+        and isinstance(stmt.target.value, ast.Name)
+        and stmt.target.value.id in bus_names
+    )
+
+
+def _is_debt(stmt: ast.stmt) -> bool:
+    """A deferred request-counter tick (``read_requests += 1``)."""
+    return (
+        isinstance(stmt, ast.AugAssign)
+        and isinstance(stmt.op, ast.Add)
+        and isinstance(stmt.target, ast.Name)
+        and stmt.target.id in _REQUEST_COUNTERS
+    )
+
+
+def _inline_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Calls evaluated within ``node`` (no nested scopes, no lambdas)."""
+    if isinstance(node, ast.Call):
+        yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (*SCOPE_STMTS, ast.Lambda)):
+            continue
+        yield from _inline_calls(child)
+
+
+def _calls_at(stmt: ast.stmt) -> Iterator[ast.Call]:
+    heads = head_expressions(stmt)
+    if heads:
+        for expr in heads:
+            yield from _inline_calls(expr)
+        return
+    if isinstance(stmt, SCOPE_STMTS):
+        return
+    yield from _inline_calls(stmt)
+
+
+class _DebtAnalysis(FlowAnalysis[bool]):
+    """Forward may-have-unflushed-debt over a kernel CFG."""
+
+    def __init__(self, bus_names: frozenset[str]) -> None:
+        self.bus_names = bus_names
+
+    def initial(self) -> bool:
+        return False
+
+    def join(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def transfer(self, stmt: ast.stmt, state: bool) -> bool:
+        if _is_flush(stmt, self.bus_names):
+            return False
+        if _is_debt(stmt):
+            return True
+        return state
+
+
+def _covered_exits(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    bus_names: frozenset[str],
+) -> set[int]:
+    """``id``s of Return/Raise nodes under a flushing ``finally``."""
+    covered: set[int] = set()
+
+    def flushes(stmts: list[ast.stmt]) -> bool:
+        return any(
+            _is_flush(inner, bus_names)
+            for stmt in stmts
+            for inner in ast.walk(stmt)
+            if isinstance(inner, ast.AugAssign)
+        )
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try) and node.finalbody \
+                and flushes(node.finalbody):
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Return, ast.Raise)):
+                    covered.add(id(child))
+    return covered
+
+
+class SyncBeforeEmitRule:
+    """R014: kernels fold deferred counters before emitting callouts."""
+
+    rule_id = "R014"
+    aliases = aliases_of("R014")
+    title = "batch kernels flush request debt before event callouts"
+
+    def check(
+        self, src: SourceFile, project: ProjectContext
+    ) -> Iterator[Finding]:
+        analysis = project_analysis(project)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not project.is_policy_class(node) or is_abstract(node):
+                continue
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) \
+                        and item.name == "access_batch":
+                    yield from self._check_kernel(
+                        src, node, item, analysis)
+
+    def _check_kernel(
+        self,
+        src: SourceFile,
+        cls: ast.ClassDef,
+        func: ast.FunctionDef,
+        analysis: _InterprocAnalysis,
+    ) -> Iterator[Finding]:
+        has_debt = any(
+            _is_debt(stmt)
+            for stmt in ast.walk(func)
+            if isinstance(stmt, ast.AugAssign)
+        )
+        if not has_debt:
+            return
+        graph = analysis.graph
+        index = graph.indexes.get(str(src.path))
+        module = index.module if index is not None else src.path.stem
+        info = graph.functions.get(f"{module}.{cls.name}.{func.name}")
+        bus_names = bus_receiver_names(func)
+        aliases = build_aliases(func)
+        label = f"{cls.name}.access_batch"
+
+        working = copy.deepcopy(func)
+        working = ast.fix_missing_locations(
+            _BusGuardSplicer(bus_names).visit(working))
+        covered = _covered_exits(working, bus_names)
+        cfg = build_cfg(working)
+        solution = solve_forward(cfg, _DebtAnalysis(bus_names))
+
+        emitted: set[tuple[int, str]] = set()
+
+        def finding(line: int, message: str) -> Iterator[Finding]:
+            key = (line, message)
+            if key not in emitted:
+                emitted.add(key)
+                yield Finding(
+                    path=str(src.path), line=line, col=1,
+                    rule_id=self.rule_id, message=message,
+                )
+
+        for block in cfg.blocks:
+            for stmt, state in solution.states_through(block):
+                if not state:
+                    continue
+                if isinstance(stmt, (ast.Return, ast.Raise)) \
+                        and id(stmt) not in covered:
+                    verb = "return" if isinstance(stmt, ast.Return) \
+                        else "raise"
+                    yield from finding(stmt.lineno, (
+                        f"{label} may {verb} with unflushed request debt "
+                        "(no covering finally that folds the deferred "
+                        "counters into bus.clock)"
+                    ))
+                    continue
+                for call in _calls_at(stmt):
+                    if self._is_callout(call, info, aliases,
+                                        bus_names, analysis):
+                        yield from finding(call.lineno, (
+                            f"{label} calls event-emitting code with "
+                            "unflushed request debt; fold the deferred "
+                            "read/write counters into bus.clock before "
+                            "the callout"
+                        ))
+        # Fall-through completion: predecessors of the exit block that
+        # do not end in an (already reported) explicit return.
+        for pred in cfg.blocks[cfg.exit].preds:
+            block = cfg.blocks[pred]
+            if block.stmts and isinstance(block.stmts[-1], ast.Return):
+                continue
+            if solution.block_out.get(pred):
+                last = func.body[-1]
+                line = getattr(last, "end_lineno", None) or last.lineno
+                yield from finding(line, (
+                    f"{label} can finish with unflushed request debt; "
+                    "fold the deferred counters into bus.clock before "
+                    "the kernel ends (a finally block keeps raise paths "
+                    "covered too)"
+                ))
+
+    def _is_callout(
+        self,
+        call: ast.Call,
+        info: FunctionInfo | None,
+        aliases: dict[str, tuple[str, str]],
+        bus_names: frozenset[str],
+        analysis: _InterprocAnalysis,
+    ) -> bool:
+        func = call.func
+        # Direct emission on the bus itself (works even when the bus
+        # class is outside the linted file set).
+        if isinstance(func, ast.Attribute) \
+                and func.attr in EMIT_METHODS \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id in bus_names:
+            return True
+        if info is None:
+            return False
+        targets, _ = analysis.graph.resolve_call(info, call, aliases)
+        transitive = analysis.summaries.transitive
+        return any(
+            transitive.get(qname) is not None
+            and transitive[qname].emits_events
+            for qname in targets
+        )
+
+
+# ----------------------------------------------------------------------
+# R015 — digest stability
+# ----------------------------------------------------------------------
+def _annotation_names(expr: ast.expr) -> Iterator[tuple[str, int]]:
+    """Type names mentioned by an annotation expression, with lines."""
+    if isinstance(expr, ast.Name):
+        yield expr.id, expr.lineno
+    elif isinstance(expr, ast.Attribute):
+        yield expr.attr, expr.lineno
+    elif isinstance(expr, ast.Constant):
+        if expr.value is None:
+            yield "None", expr.lineno
+        elif isinstance(expr.value, str):
+            try:
+                parsed = ast.parse(expr.value, mode="eval")
+            except SyntaxError:
+                return
+            for name, _ in _annotation_names(parsed.body):
+                yield name, expr.lineno
+    elif isinstance(expr, ast.Subscript):
+        yield from _annotation_names(expr.value)
+        yield from _annotation_names(expr.slice)
+    elif isinstance(expr, ast.BinOp):
+        yield from _annotation_names(expr.left)
+        yield from _annotation_names(expr.right)
+    elif isinstance(expr, (ast.Tuple, ast.List)):
+        for elt in expr.elts:
+            yield from _annotation_names(elt)
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> tuple[bool, bool]:
+    """``(is_dataclass, is_frozen)`` from the decorator list."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = target.attr if isinstance(target, ast.Attribute) \
+            else getattr(target, "id", "")
+        if name != "dataclass":
+            continue
+        if not isinstance(decorator, ast.Call):
+            return True, False
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen" \
+                    and isinstance(keyword.value, ast.Constant) \
+                    and keyword.value.value is True:
+                return True, True
+        return True, False
+    return False, False
+
+
+def _deterministic_return(value: ast.expr | None) -> bool:
+    """A return value whose JSON serialisation order is static."""
+    if value is None:
+        return False
+    if isinstance(value, ast.Dict):
+        return all(
+            isinstance(key, ast.Constant) for key in value.keys
+        )
+    if isinstance(value, ast.Call):
+        target = value.func
+        name = target.attr if isinstance(target, ast.Attribute) \
+            else getattr(target, "id", "")
+        if name == "dict" and value.args \
+                and isinstance(value.args[0], ast.Call):
+            inner = value.args[0].func
+            inner_name = inner.attr if isinstance(inner, ast.Attribute) \
+                else getattr(inner, "id", "")
+            return inner_name == "sorted"
+        # Delegation (e.g. ``asdict``-free handwritten helpers) is
+        # checked at the callee when it is also reachable.
+        return name == "to_dict"
+    return False
+
+
+class DigestStabilityRule:
+    """R015: everything in RunSpec's identity is frozen + deterministic."""
+
+    rule_id = "R015"
+    aliases = aliases_of("R015")
+    title = "RunSpec identity types are frozen with stable to_dict order"
+
+    def check(
+        self, src: SourceFile, project: ProjectContext
+    ) -> Iterator[Finding]:
+        findings = project.scratch.get("interproc.digest")
+        if findings is None:
+            findings = self._analyze(project)
+            project.scratch["interproc.digest"] = findings
+        path = str(src.path)
+        for finding in findings:
+            if finding.path == path:
+                yield finding
+
+    # -- project-wide pass ---------------------------------------------
+    def _analyze(self, project: ProjectContext) -> list[Finding]:
+        classes: dict[str, tuple[ast.ClassDef, SourceFile]] = {}
+        type_aliases: dict[str, tuple[ast.expr, SourceFile]] = {}
+        for src in project.files:
+            for stmt in src.tree.body:
+                if isinstance(stmt, ast.ClassDef):
+                    classes.setdefault(stmt.name, (stmt, src))
+                elif isinstance(stmt, ast.Assign) \
+                        and len(stmt.targets) == 1 \
+                        and isinstance(stmt.targets[0], ast.Name) \
+                        and isinstance(stmt.value, (ast.Subscript,
+                                                    ast.BinOp, ast.Name,
+                                                    ast.Attribute)):
+                    type_aliases.setdefault(
+                        stmt.targets[0].id, (stmt.value, src))
+        root = classes.get("RunSpec")
+        if root is None:
+            return []
+        findings: list[Finding] = []
+        visited: set[str] = set()
+        self._check_class(
+            "RunSpec", root[0], root[1], classes, type_aliases,
+            visited, findings, is_root=True,
+        )
+        return sorted(findings)
+
+    def _check_class(
+        self,
+        name: str,
+        node: ast.ClassDef,
+        src: SourceFile,
+        classes: dict[str, tuple[ast.ClassDef, SourceFile]],
+        type_aliases: dict[str, tuple[ast.expr, SourceFile]],
+        visited: set[str],
+        findings: list[Finding],
+        is_root: bool = False,
+    ) -> None:
+        if name in visited:
+            return
+        visited.add(name)
+        path = str(src.path)
+        bases = {
+            base.id if isinstance(base, ast.Name) else base.attr
+            for base in node.bases
+            if isinstance(base, (ast.Name, ast.Attribute))
+        }
+        value_semantics = bool(bases & _STABLE_BASES)
+        is_dataclass, is_frozen = _is_frozen_dataclass(node)
+        if not value_semantics and not (is_dataclass and is_frozen):
+            role = "RunSpec" if is_root else (
+                f"`{name}` (reachable from RunSpec identity fields)"
+            )
+            findings.append(Finding(
+                path=path, line=node.lineno, col=node.col_offset + 1,
+                rule_id=self.rule_id,
+                message=(
+                    f"{role} must be a frozen dataclass (or value type): "
+                    "an unfrozen identity type lets cache digests drift "
+                    "after construction"
+                ),
+            ))
+        if is_dataclass:
+            self._check_to_dict(name, node, path, findings)
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                self._check_annotation(
+                    name, stmt, src, classes, type_aliases, visited,
+                    findings,
+                )
+        if is_root:
+            self._check_digest(node, path, findings)
+
+    def _check_annotation(
+        self,
+        owner: str,
+        stmt: ast.AnnAssign,
+        src: SourceFile,
+        classes: dict[str, tuple[ast.ClassDef, SourceFile]],
+        type_aliases: dict[str, tuple[ast.expr, SourceFile]],
+        visited: set[str],
+        findings: list[Finding],
+        depth: int = 0,
+    ) -> None:
+        if depth > 8:
+            return
+        field_name = stmt.target.id \
+            if isinstance(stmt.target, ast.Name) else "<field>"
+        for type_name, line in _annotation_names(stmt.annotation):
+            if type_name in _UNSTABLE_TYPES:
+                findings.append(Finding(
+                    path=str(src.path), line=line, col=1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{owner}.{field_name} uses mutable/unordered "
+                        f"type `{type_name}` in an identity field; use "
+                        "tuples/frozen types so the digest cannot drift"
+                    ),
+                ))
+            elif type_name in classes:
+                cls_node, cls_src = classes[type_name]
+                self._check_class(
+                    type_name, cls_node, cls_src, classes, type_aliases,
+                    visited, findings,
+                )
+            elif type_name in type_aliases:
+                alias_expr, alias_src = type_aliases[type_name]
+                if type_name not in visited:
+                    visited.add(type_name)
+                    for inner, inner_line in _annotation_names(alias_expr):
+                        if inner in _UNSTABLE_TYPES:
+                            findings.append(Finding(
+                                path=str(alias_src.path), line=inner_line,
+                                col=1, rule_id=self.rule_id,
+                                message=(
+                                    f"type alias `{type_name}` (used by "
+                                    f"{owner}.{field_name}) contains "
+                                    f"mutable type `{inner}`"
+                                ),
+                            ))
+                        elif inner in classes:
+                            cls_node, cls_src = classes[inner]
+                            self._check_class(
+                                inner, cls_node, cls_src, classes,
+                                type_aliases, visited, findings,
+                            )
+
+    def _check_to_dict(
+        self,
+        name: str,
+        node: ast.ClassDef,
+        path: str,
+        findings: list[Finding],
+    ) -> None:
+        to_dict = None
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef) \
+                    and stmt.name == "to_dict":
+                to_dict = stmt
+                break
+        if to_dict is None:
+            findings.append(Finding(
+                path=path, line=node.lineno, col=node.col_offset + 1,
+                rule_id=self.rule_id,
+                message=(
+                    f"`{name}` is serialised into the RunSpec digest but "
+                    "defines no to_dict; add one returning a "
+                    "constant-keyed dict literal"
+                ),
+            ))
+            return
+        for inner in ast.walk(to_dict):
+            if isinstance(inner, ast.Return) \
+                    and not _deterministic_return(inner.value):
+                findings.append(Finding(
+                    path=path, line=inner.lineno, col=1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{name}.to_dict must return a constant-keyed "
+                        "dict literal (or dict(sorted(...))) so digest "
+                        "key order is static"
+                    ),
+                ))
+
+    def _check_digest(
+        self, node: ast.ClassDef, path: str, findings: list[Finding]
+    ) -> None:
+        for method in node.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            for inner in ast.walk(method):
+                if not isinstance(inner, ast.Call):
+                    continue
+                target = inner.func
+                name = target.attr if isinstance(target, ast.Attribute) \
+                    else getattr(target, "id", "")
+                if name != "dumps":
+                    continue
+                sort_keys = any(
+                    keyword.arg == "sort_keys"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in inner.keywords
+                )
+                if not sort_keys:
+                    findings.append(Finding(
+                        path=path, line=inner.lineno, col=1,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"json.dumps in RunSpec.{method.name} must "
+                            "pass sort_keys=True; unsorted keys make "
+                            "the digest depend on dict insertion order"
+                        ),
+                    ))
+
+
+#: The ``--deep`` tier, in rule-id order.
+DEEP_RULES: tuple[WorkerPurityRule, SyncBeforeEmitRule,
+                  DigestStabilityRule] = (
+    WorkerPurityRule(),
+    SyncBeforeEmitRule(),
+    DigestStabilityRule(),
+)

@@ -1,0 +1,378 @@
+"""Purity/side-effect summaries over the call graph.
+
+Every function gets a :class:`Summary` — the join of what its body
+does directly and what everything it may call does — computed as a
+fixpoint over the :class:`~repro.analysis.interproc.callgraph.CallGraph`:
+
+* ``mutates_params``: parameter names written through (attribute or
+  item assignment, or a mutating method call on the parameter).  Kept
+  *direct-only*: the graph does not track argument binding, so
+  propagating it through calls would be noise.
+* ``mutates_globals``: module-level slots written (``module:name``),
+  directly or via any callee.
+* ``mutates_cells``: closed-over variables of an enclosing function
+  that a nested function rebinds (``nonlocal``) or mutates in place.
+* ``performs_io``: reaches ``print``/``open``/file-writing calls.
+* ``calls_unknown``: some call site resolved to nothing known — the
+  summary is a lower bound there, and rules must say so rather than
+  assume purity.
+* ``emits_events``: may append to an :class:`EventBus` pending buffer
+  or tick its clock — the callout classification the sync-before-emit
+  rule (R014) is built on.
+
+Direct effects are extracted per file and memoised on the same
+``(mtime_ns, size)`` stat signature as the module indexes; only the
+cross-file fixpoint is recomputed per run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.context import SourceFile
+from repro.analysis.interproc.callgraph import (
+    IO_BUILTINS,
+    WORKER_LOCAL_MARKER,
+    CallGraph,
+    FunctionInfo,
+    ModuleIndex,
+    attribute_base,
+    build_aliases,
+    inline_nodes,
+)
+
+#: Method calls that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "discard", "remove", "pop",
+    "popitem", "clear", "update", "setdefault", "sort", "reverse",
+    "appendleft", "popleft", "__setitem__", "__delitem__",
+})
+
+#: Method calls that write to a file-like or filesystem receiver.
+IO_METHODS = frozenset({
+    "write", "writelines", "write_text", "write_bytes",
+    "mkdir", "makedirs", "unlink", "touch", "rmdir",
+})
+
+#: ``EventBus`` emission methods that stamp the current clock into an
+#: event (``annotate`` is deliberately absent: it stages trigger
+#: context without reading the clock).
+EMIT_METHODS = frozenset({
+    "migration", "page_fault", "eviction", "epoch", "flush", "finish",
+})
+
+#: The attribute the manager and kernels bind event buses from
+#: (``bus = mm.events``, ``events = self.events``).
+BUS_ATTR = "events"
+
+
+@dataclass(frozen=True)
+class Summary:
+    """What calling a function may do (see module docstring)."""
+
+    mutates_params: frozenset[str] = frozenset()
+    mutates_globals: frozenset[str] = frozenset()
+    mutates_cells: frozenset[str] = frozenset()
+    performs_io: bool = False
+    calls_unknown: bool = False
+    emits_events: bool = False
+
+    def join(self, other: "Summary") -> "Summary":
+        """Least upper bound; ``mutates_params`` stays direct-only."""
+        return Summary(
+            mutates_params=self.mutates_params,
+            mutates_globals=self.mutates_globals | other.mutates_globals,
+            mutates_cells=self.mutates_cells | other.mutates_cells,
+            performs_io=self.performs_io or other.performs_io,
+            calls_unknown=self.calls_unknown or other.calls_unknown,
+            emits_events=self.emits_events or other.emits_events,
+        )
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One shared-state write, for precise R013 reporting.
+
+    ``kind`` is ``"global"`` or ``"cell"``; ``slot`` is the canonical
+    ``module:name`` (or ``owner-qname:name``) key; ``marked`` is True
+    when the mutating line itself carries the worker-local marker.
+    """
+
+    kind: str
+    name: str
+    slot: str
+    line: int
+    marked: bool
+
+
+@dataclass(frozen=True)
+class DirectEffects:
+    """A function's own effects plus the sites behind them."""
+
+    summary: Summary
+    sites: tuple[MutationSite, ...]
+
+
+def bus_receiver_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> frozenset[str]:
+    """Local names bound from an ``.events`` attribute in ``func``."""
+    return frozenset(
+        name
+        for name, (kind, attr) in build_aliases(func).items()
+        if kind == "attr" and attr == BUS_ATTR
+    )
+
+
+def _flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _flatten_targets(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _flatten_targets(target.value)
+    else:
+        yield target
+
+
+class _Extractor:
+    """Single-function direct-effect extraction."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        index: ModuleIndex,
+        functions: dict[str, FunctionInfo],
+        lines: list[str],
+    ) -> None:
+        self.info = info
+        self.index = index
+        self.functions = functions
+        self.lines = lines
+        self.params: set[str] = set()
+        self.sites: list[MutationSite] = []
+        self.performs_io = False
+        self.emits = False
+        self.bus_names = bus_receiver_names(info.node)
+
+    # -- name classification -------------------------------------------
+    def _cell_owner(self, name: str) -> FunctionInfo | None:
+        parent_qname = self.info.parent
+        while parent_qname is not None:
+            parent = self.functions.get(parent_qname)
+            if parent is None:
+                return None
+            if name in parent.local_names:
+                return parent
+            parent_qname = parent.parent
+        return None
+
+    def _marked(self, line: int) -> bool:
+        return (
+            1 <= line <= len(self.lines)
+            and WORKER_LOCAL_MARKER in self.lines[line - 1]
+        )
+
+    def _record(self, kind: str, name: str, slot: str, line: int) -> None:
+        self.sites.append(MutationSite(
+            kind=kind, name=name, slot=slot, line=line,
+            marked=self._marked(line),
+        ))
+
+    def _classify_mutation(
+        self, base: str, attrs: list[str], line: int, rebind: bool
+    ) -> None:
+        info = self.info
+        if rebind:
+            # Rebinding a plain name only escapes via declarations.
+            if base in info.global_decls:
+                self._record(
+                    "global", base, f"{self.index.module}:{base}", line)
+            elif base in info.nonlocal_decls:
+                owner = self._cell_owner(base)
+                owner_name = owner.qname if owner is not None else "<outer>"
+                self._record("cell", base, f"{owner_name}:{base}", line)
+            return
+        if base in ("self", "cls") and info.cls is not None:
+            self.params.add(base)
+            return
+        if base in info.params:
+            self.params.add(base)
+            return
+        if base in info.global_decls:
+            self._record("global", base, f"{self.index.module}:{base}", line)
+            return
+        if base in info.local_names:
+            return
+        owner = self._cell_owner(base)
+        if owner is not None:
+            self._record("cell", base, f"{owner.qname}:{base}", line)
+            return
+        if base in self.index.module_globals:
+            self._record("global", base, f"{self.index.module}:{base}", line)
+            return
+        origin = self.index.imports.get(base)
+        if origin is not None:
+            if attrs:
+                slot = f"{origin}:{attrs[0]}"
+                name = f"{base}.{attrs[0]}"
+            else:
+                head, _, tail = origin.rpartition(".")
+                slot = f"{head}:{tail}" if head else origin
+                name = base
+            self._record("global", name, slot, line)
+
+    # -- the scan -------------------------------------------------------
+    def run(self) -> DirectEffects:
+        for node in inline_nodes(self.info.node):
+            self._visit(node)
+        summary = Summary(
+            mutates_params=frozenset(self.params),
+            mutates_globals=frozenset(
+                site.slot for site in self.sites if site.kind == "global"
+            ),
+            mutates_cells=frozenset(
+                site.slot for site in self.sites if site.kind == "cell"
+            ),
+            performs_io=self.performs_io,
+            calls_unknown=False,  # filled in from the graph by summarize()
+            emits_events=self.emits,
+        )
+        return DirectEffects(summary=summary, sites=tuple(self.sites))
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Attribute) and node.attr == "_pending":
+            self.emits = True
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node, ast.Assign):
+                raw_targets = node.targets
+            else:
+                if isinstance(node, ast.AnnAssign) and node.value is None:
+                    return
+                raw_targets = [node.target]
+            for target in raw_targets:
+                for leaf in _flatten_targets(target):
+                    self._visit_target(leaf, node.lineno)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                for leaf in _flatten_targets(target):
+                    self._visit_target(leaf, node.lineno)
+        elif isinstance(node, ast.Call):
+            self._visit_call(node)
+
+    def _visit_target(self, target: ast.expr, line: int) -> None:
+        if isinstance(target, ast.Name):
+            self._classify_mutation(target.id, [], line, rebind=True)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            base, attrs = attribute_base(target)
+            if base is None:
+                return
+            if isinstance(target, ast.Attribute) \
+                    and target.attr == "clock" and base in self.bus_names:
+                self.emits = True
+            self._classify_mutation(base, attrs, line, rebind=False)
+
+    def _visit_call(self, call: ast.Call) -> None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in IO_BUILTINS:
+                self.performs_io = True
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in IO_METHODS:
+            self.performs_io = True
+        base, _ = attribute_base(func.value)
+        if func.attr in EMIT_METHODS and base is not None \
+                and base in self.bus_names:
+            self.emits = True
+        if func.attr in MUTATOR_METHODS:
+            receiver_base, receiver_attrs = attribute_base(func.value)
+            if receiver_base is not None:
+                self._classify_mutation(
+                    receiver_base, receiver_attrs, call.lineno, rebind=False)
+
+
+#: Per-file direct-effect cache: path -> ((mtime_ns, size), effects).
+_DIRECT_CACHE: dict[  # repro: worker-local
+    str, tuple[tuple[int, int], dict[str, DirectEffects]]
+] = {}
+
+
+def direct_effects_for_file(
+    src: SourceFile, index: ModuleIndex
+) -> dict[str, DirectEffects]:
+    """Direct effects of every function in one file (stat-memoised)."""
+    key = str(src.path)
+    try:
+        stat = src.path.stat()
+        signature: tuple[int, int] | None = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        signature = None
+    if signature is not None:
+        cached = _DIRECT_CACHE.get(key)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+    functions = {info.qname: info for info in index.functions}
+    lines = src.lines
+    effects = {
+        info.qname: _Extractor(info, index, functions, lines).run()
+        for info in index.functions
+    }
+    if signature is not None:
+        _DIRECT_CACHE[key] = (signature, effects)
+    return effects
+
+
+@dataclass
+class ProjectSummaries:
+    """Direct effects plus the converged transitive summaries."""
+
+    direct: dict[str, DirectEffects]
+    transitive: dict[str, Summary]
+
+
+def summarize(
+    graph: CallGraph, files: list[SourceFile]
+) -> ProjectSummaries:
+    """Compute per-function summaries by fixpoint over ``graph``."""
+    direct: dict[str, DirectEffects] = {}
+    by_path = {str(src.path): src for src in files}
+    for path, index in graph.indexes.items():
+        src = by_path.get(path)
+        if src is None:
+            continue
+        direct.update(direct_effects_for_file(src, index))
+    transitive: dict[str, Summary] = {}
+    for qname in graph.functions:
+        effects = direct.get(qname)
+        base = effects.summary if effects is not None else Summary()
+        if qname in graph.unknown_calls:
+            base = Summary(
+                mutates_params=base.mutates_params,
+                mutates_globals=base.mutates_globals,
+                mutates_cells=base.mutates_cells,
+                performs_io=base.performs_io,
+                calls_unknown=True,
+                emits_events=base.emits_events,
+            )
+        transitive[qname] = base
+    callers: dict[str, list[str]] = {}
+    for caller, callees in graph.edges.items():
+        for callee in callees:
+            callers.setdefault(callee, []).append(caller)
+    pending = set(graph.functions)
+    while pending:
+        qname = pending.pop()
+        state = transitive.get(qname)
+        if state is None:
+            continue
+        for caller in callers.get(qname, ()):
+            old = transitive[caller]
+            new = old.join(state)
+            if new != old:
+                transitive[caller] = new
+                pending.add(caller)
+    return ProjectSummaries(direct=direct, transitive=transitive)

@@ -7,7 +7,8 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.analysis.context import ProjectContext, SourceFile
-from repro.analysis.findings import Finding, suppressed
+from repro.analysis.findings import Finding, canonical_id, suppressed
+from repro.analysis.interproc.interproc_rules import DEEP_RULES
 from repro.analysis.rules import DEFAULT_RULES, LintRule
 
 #: Directories never worth linting.
@@ -18,10 +19,13 @@ _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
 #: hoc RNGs on purpose, define throwaway policy classes that have no
 #: business in the registry or the device-constant vocabulary, and
 #: probe simulator internals directly (R011 exempts them); examples
-#: define demonstration policies without registering them.
+#: define demonstration policies without registering them.  The deep
+#: tier (R013-R015) is likewise scoped to ``src``: test doubles and
+#: example policies deliberately poke shared state and fake kernels.
 PROFILES: dict[str, frozenset[str]] = {
-    "tests": frozenset({"R002", "R004", "R005", "R011"}),
-    "examples": frozenset({"R004"}),
+    "tests": frozenset({"R002", "R004", "R005", "R011",
+                        "R013", "R014", "R015"}),
+    "examples": frozenset({"R004", "R013", "R014", "R015"}),
 }
 
 
@@ -55,6 +59,27 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
     return sorted(collected)
 
 
+#: Parse cache keyed on the file's ``(mtime_ns, size)`` stat signature
+#: — the same scheme the executor's ``code_version`` uses — so a
+#: ``--deep`` run (and the project analyses hanging off the parse
+#: trees) re-reads only files that changed since the previous run.
+_PARSE_CACHE: dict[str, tuple[tuple[int, int], SourceFile]] = {}
+
+
+def _load(path: Path) -> SourceFile:
+    key = str(path)
+    stat = path.stat()
+    signature = (stat.st_mtime_ns, stat.st_size)
+    cached = _PARSE_CACHE.get(key)
+    if cached is not None and cached[0] == signature:
+        return cached[1]
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=key)
+    src = SourceFile(path=path, text=text, tree=tree)
+    _PARSE_CACHE[key] = (signature, src)
+    return src
+
+
 def parse_files(
     files: Iterable[Path],
 ) -> tuple[list[SourceFile], list[Finding]]:
@@ -63,16 +88,13 @@ def parse_files(
     errors: list[Finding] = []
     for path in files:
         try:
-            text = path.read_text(encoding="utf-8")
-            tree = ast.parse(text, filename=str(path))
+            sources.append(_load(path))
         except (OSError, SyntaxError, ValueError) as exc:
             line = getattr(exc, "lineno", None) or 1
             errors.append(Finding(
                 path=str(path), line=line, col=1, rule_id="R000",
                 message=f"cannot parse: {exc}",
             ))
-            continue
-        sources.append(SourceFile(path=path, text=text, tree=tree))
     return sources, errors
 
 
@@ -80,18 +102,28 @@ def lint_paths(
     paths: Sequence[str | Path],
     rules: Sequence[LintRule] | None = None,
     select: Iterable[str] | None = None,
+    deep: bool = False,
 ) -> list[Finding]:
     """Run the lint rules over ``paths`` and return sorted findings.
 
-    ``select`` restricts the run to the given rule ids — aliases work,
-    so ``["R001"]`` selects the R010 successor; ``rules`` substitutes
-    the rule set entirely.  Directory :data:`PROFILES` switch rules off
-    per file.
+    ``select`` restricts the run to the given rule ids — historical
+    aliases resolve through :data:`~repro.analysis.findings.RULE_ALIASES`
+    (``["R001"]`` selects the R010 successor) and deep-tier ids are
+    selectable without ``deep=True``; ``rules`` substitutes the rule
+    set entirely; ``deep=True`` adds the interprocedural tier
+    (R013-R015) to the default set.  Directory :data:`PROFILES` switch
+    rules off per file.
     """
-    active = list(rules if rules is not None else DEFAULT_RULES)
+    if rules is not None:
+        catalogue = list(rules)
+    elif select is not None or deep:
+        catalogue = [*DEFAULT_RULES, *DEEP_RULES]
+    else:
+        catalogue = list(DEFAULT_RULES)
+    active = catalogue
     if select is not None:
-        wanted = {rule_id.upper() for rule_id in select}
-        active = [rule for rule in active if rule_ids(rule) & wanted]
+        wanted = {canonical_id(rule_id) for rule_id in select}
+        active = [rule for rule in catalogue if rule_ids(rule) & wanted]
     sources, findings = parse_files(iter_python_files(paths))
     project = ProjectContext.build(sources)
     for src in sources:

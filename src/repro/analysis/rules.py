@@ -1,5 +1,8 @@
 """The project-specific lint rules (R002-R012).
 
+The interprocedural ``--deep`` tier (R013-R015) lives in
+:mod:`repro.analysis.interproc.interproc_rules`.
+
 Each rule checks one contract the reproduction's correctness rests on:
 
 ``R002``

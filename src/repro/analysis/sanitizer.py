@@ -75,7 +75,7 @@ class SanitizerError(AssertionError):
     """A simulation invariant was violated."""
 
 
-_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}  # repro: worker-local
 
 
 def _counter_snapshot(accounting: object) -> dict[str, int]:

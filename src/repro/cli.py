@@ -27,9 +27,11 @@ Commands
     exact end-of-run reconstruction check; ``--events PATH`` dumps the
     raw JSONL streams.
 ``lint``
-    Run the project-specific static-analysis rules (R002-R012,
-    including the dataflow-based units and typestate checks) over
-    source paths; exits nonzero on findings.
+    Run the project-specific static-analysis rules (R002-R015,
+    including the dataflow-based units and typestate checks and, under
+    ``--deep``, the interprocedural purity/escape tier) over source
+    paths; exits nonzero on findings.  ``--format json|github`` for
+    machine-readable output, ``--fix`` for the mechanical rewrites.
 ``profile``
     cProfile one (workload, policy) run — workload rendering excluded
     from the profile — and print the hottest functions.
@@ -361,7 +363,8 @@ def _cmd_claims(args) -> int:
 def _cmd_lint(args) -> int:
     if args.list_rules:
         return list_rules()
-    return run_lint(args.paths, select=args.select)
+    return run_lint(args.paths, select=args.select, deep=args.deep,
+                    fmt=args.format, fix=args.fix)
 
 
 def _cmd_profile(args) -> int:
@@ -634,12 +637,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the project lint rules (R002-R012) over source paths",
+        help="run the project lint rules (R002-R015) over source paths",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
     p.add_argument("--select", nargs="+", metavar="RULE",
                    help="restrict to the given rule ids (e.g. R010 R003)")
+    p.add_argument("--deep", action="store_true",
+                   help="add the interprocedural tier (R013-R015: worker "
+                        "purity, sync-before-emit, digest stability)")
+    p.add_argument("--format", choices=["text", "json", "github"],
+                   default="text",
+                   help="output format (default: text)")
+    p.add_argument("--fix", action="store_true",
+                   help="apply mechanical fixes (R003 mutable defaults, "
+                        "R005 magic device numbers) before linting")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.set_defaults(func=_cmd_lint)

@@ -22,8 +22,8 @@ if TYPE_CHECKING:
     from repro.core.config import MigrationConfig
     from repro.policies.replacement import ReplacementAlgorithm
 
-_FACTORIES: dict[str, PolicyFactory] = {}
-_ALGORITHMS: dict[str, Callable[[int], "ReplacementAlgorithm"]] = {}
+_FACTORIES: dict[str, PolicyFactory] = {}  # repro: worker-local
+_ALGORITHMS: dict[str, Callable[[int], "ReplacementAlgorithm"]] = {}  # repro: worker-local
 
 
 def _ensure_builtins() -> None:

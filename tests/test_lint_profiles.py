@@ -1,0 +1,102 @@
+"""End-to-end tests for the per-directory lint profiles.
+
+Builds one fixture project with ``src``/``tests``/``examples``
+subtrees, seeds the same violations in each, and asserts the profile
+table switches exactly the right rules off per directory.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import PROFILES, disabled_for, lint_paths
+
+_RANDOM_AND_DEFAULT = """
+    import random
+
+    def pick(items, extras=[]):
+        return random.choice(items + extras)
+"""
+
+_POLICY = """
+    class {name}(HybridMemoryPolicy):
+        name = "{key}"
+
+        def access(self, page, is_write):
+            self.mm.record_request(is_write)
+"""
+
+_WORKER_MUTATION = """
+    _CACHE = {}
+
+    def work(item):
+        _CACHE[item] = item
+        return item
+
+    def main(pool, items):
+        return pool.submit(work, items[0])
+"""
+
+
+def _build_project(tmp_path: Path) -> Path:
+    proj = tmp_path / "proj"
+    for rel, source in {
+        "src/sim.py": _RANDOM_AND_DEFAULT,
+        "tests/test_sim.py": _RANDOM_AND_DEFAULT,
+        "src/policies.py": _POLICY.format(
+            name="OrphanPolicy", key="orphan"),
+        "examples/demo.py": "import random\n" + textwrap.dedent(
+            _POLICY.format(name="ShowcasePolicy", key="showcase")),
+        "src/registry.py": 'FACTORIES = {}\n',
+        "src/worker.py": _WORKER_MUTATION,
+        "tests/worker_helper.py": _WORKER_MUTATION,
+    }.items():
+        target = proj / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return proj
+
+
+class TestDisabledFor:
+    def test_src_has_no_exemptions(self):
+        assert disabled_for(Path("proj/src/sim.py")) == frozenset()
+
+    def test_tests_profile(self):
+        assert disabled_for(
+            Path("proj/tests/test_sim.py")) == PROFILES["tests"]
+
+    def test_nested_test_dirs_match_by_part(self):
+        assert "R002" in disabled_for(Path("a/b/tests/unit/test_x.py"))
+
+    def test_profiles_cover_deep_tier(self):
+        for profile in PROFILES.values():
+            assert {"R013", "R014", "R015"} <= profile
+
+
+class TestProjectTree:
+    def test_profiles_end_to_end(self, tmp_path):
+        proj = _build_project(tmp_path)
+        findings = lint_paths([proj], deep=True)
+        got = {
+            (str(Path(f.path).relative_to(proj)), f.rule_id)
+            for f in findings
+        }
+        assert got == {
+            # src gets the full rule set.
+            ("src/sim.py", "R002"),
+            ("src/sim.py", "R003"),
+            ("src/policies.py", "R004"),
+            ("src/worker.py", "R013"),
+            # tests keep R003 but drop R002/R004 and the deep tier.
+            ("tests/test_sim.py", "R003"),
+            # examples drop R004 and the deep tier but keep R002/R003.
+            ("examples/demo.py", "R002"),
+        }, "\n".join(f.render() for f in findings)
+
+    def test_select_still_respects_profiles(self, tmp_path):
+        proj = _build_project(tmp_path)
+        findings = lint_paths([proj], select=["R013"])
+        assert {f.path for f in findings} == {
+            str(proj / "src" / "worker.py")
+        }
