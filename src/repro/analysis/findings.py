@@ -36,13 +36,19 @@ def aliases_of(rule_id: str) -> tuple[str, ...]:
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``evidence`` carries the hot-region chain for perf-tier findings
+    (seed, reason, call path); base-tier rules leave it empty.  The
+    renderers surface it, the baseline and ``noqa`` machinery ignore it.
+    """
 
     path: str
     line: int
     col: int
     rule_id: str
     message: str
+    evidence: tuple[str, ...] = ()
 
     def render(self) -> str:
         """``file:line:col: rule-id message`` (editor-clickable)."""

@@ -1,12 +1,16 @@
 """Interprocedural analysis: call graph, summaries, deep lint rules."""
 
 from repro.analysis.interproc.callgraph import (
+    COLD_MARKER,
     DEFAULT_DEPTH,
+    HOT_DRIVE_METHODS,
+    HOT_KERNEL_FUNCTIONS,
     WORKER_LOCAL_MARKER,
     CallGraph,
     FunctionInfo,
     ModuleIndex,
     build_module_index,
+    short_chain,
 )
 from repro.analysis.interproc.interproc_rules import (
     DEEP_RULES,
@@ -23,7 +27,11 @@ from repro.analysis.interproc.summaries import (
 )
 
 __all__ = [
+    "COLD_MARKER",
     "DEFAULT_DEPTH",
+    "HOT_DRIVE_METHODS",
+    "HOT_KERNEL_FUNCTIONS",
+    "short_chain",
     "WORKER_LOCAL_MARKER",
     "CallGraph",
     "FunctionInfo",

@@ -44,6 +44,22 @@ from repro.analysis.flow.cfg import SCOPE_STMTS
 #: so there is no shared-state race for R013 to report).
 WORKER_LOCAL_MARKER = "repro: worker-local"
 
+#: Marker comment on a ``def`` line that excludes the function from the
+#: perf tier's hot regions: it is neither treated as hot itself nor
+#: traversed through when closing over the hot seeds (validation and
+#: debug helpers that happen to be called from a kernel opt out here).
+COLD_MARKER = "repro: cold"
+
+#: Function names that are hot by definition: the trace-filter kernels
+#: run once per trace record before the simulator ever sees a request.
+HOT_KERNEL_FUNCTIONS = frozenset({"filter_trace", "filter_trace_vectorized"})
+
+#: Per-class drive-loop methods that are hot by definition: the
+#: simulator replay loops dispatch every request of a run.
+HOT_DRIVE_METHODS: dict[str, tuple[str, ...]] = {
+    "HybridMemorySimulator": ("_replay", "_replay_chunked"),
+}
+
 #: Default bound on the reachability closure depth.
 DEFAULT_DEPTH = 16
 
@@ -89,6 +105,23 @@ POOL_SUBMIT_METHODS = frozenset({
     "imap", "imap_unordered", "map", "map_async", "starmap",
     "starmap_async", "apply", "apply_async", "submit",
 })
+
+
+def short_chain(graph: "CallGraph", chain: Sequence[str]) -> str:
+    """Render a call chain with module prefixes stripped for messages.
+
+    ``("repro.core.m.P.access", "repro.core.m.P._fault")`` becomes
+    ``"P.access -> P._fault"`` — the form the deep and perf tiers print
+    as evidence.
+    """
+    parts = []
+    for qname in chain:
+        info = graph.functions.get(qname)
+        if info is not None and qname.startswith(info.module + "."):
+            parts.append(qname[len(info.module) + 1:])
+        else:
+            parts.append(qname)
+    return " -> ".join(parts)
 
 
 def module_name(path: Path) -> str:
@@ -597,16 +630,20 @@ class CallGraph:
         self,
         seeds: Sequence[str],
         max_depth: int = DEFAULT_DEPTH,
+        exclude: frozenset[str] = frozenset(),
     ) -> dict[str, tuple[str, ...]]:
         """Functions reachable from ``seeds`` within ``max_depth`` calls.
 
         Maps each reached qname to its call chain ``(seed, ...,
-        qname)`` — the shortest one found, for diagnostics.
+        qname)`` — the shortest one found, for diagnostics.  Functions
+        in ``exclude`` are neither reported nor traversed through (the
+        perf tier passes the ``# repro: cold`` set here).
         """
         chains: dict[str, tuple[str, ...]] = {}
         queue: deque[tuple[str, tuple[str, ...]]] = deque()
         for seed in seeds:
-            if seed in self.functions and seed not in chains:
+            if seed in self.functions and seed not in chains \
+                    and seed not in exclude:
                 chains[seed] = (seed,)
                 queue.append((seed, (seed,)))
         while queue:
@@ -614,7 +651,7 @@ class CallGraph:
             if len(chain) > max_depth:
                 continue
             for callee in self.edges.get(qname, ()):
-                if callee not in chains:
+                if callee not in chains and callee not in exclude:
                     chains[callee] = chain + (callee,)
                     queue.append((callee, chain + (callee,)))
         return chains
@@ -622,6 +659,38 @@ class CallGraph:
     # ------------------------------------------------------------------
     # Seed discovery
     # ------------------------------------------------------------------
+    def hot_seeds(self, policy_classes: Sequence[str]) -> dict[str, str]:
+        """Hot entry points for the perf tier: qname -> why it is hot.
+
+        Three families: policy ``access``/``access_batch`` kernels (one
+        body per request or per batch), the trace-filter kernels
+        (:data:`HOT_KERNEL_FUNCTIONS`), and the simulator drive loops
+        (:data:`HOT_DRIVE_METHODS`).  Everything reachable from these
+        inherits hotness via :meth:`reachable`.
+        """
+        seeds: dict[str, str] = {}
+        for cls_name in policy_classes:
+            methods = self.class_methods.get(cls_name, {})
+            for method in ("access", "access_batch"):
+                qname = methods.get(method)
+                if qname is not None:
+                    seeds.setdefault(
+                        qname,
+                        f"policy {method} kernel runs once per request",
+                    )
+        for name in sorted(HOT_KERNEL_FUNCTIONS):
+            for qname in self.by_func_name.get(name, []):
+                seeds.setdefault(
+                    qname, "trace-filter kernel runs once per trace record")
+        for cls_name, methods_wanted in HOT_DRIVE_METHODS.items():
+            methods = self.class_methods.get(cls_name, {})
+            for method in methods_wanted:
+                qname = methods.get(method)
+                if qname is not None:
+                    seeds.setdefault(
+                        qname, "simulator drive loop dispatches every request")
+        return seeds
+
     def pool_submissions(self) -> dict[str, str]:
         """Callables handed to a worker pool: qname -> submitting site.
 

@@ -50,6 +50,7 @@ from repro.analysis.interproc.callgraph import (
     CallGraph,
     FunctionInfo,
     build_aliases,
+    short_chain,
 )
 from repro.analysis.interproc.summaries import (
     EMIT_METHODS,
@@ -122,14 +123,7 @@ def _worker_seeds(
 
 
 def _short_chain(graph: CallGraph, chain: tuple[str, ...]) -> str:
-    parts = []
-    for qname in chain:
-        info = graph.functions.get(qname)
-        if info is not None and qname.startswith(info.module + "."):
-            parts.append(qname[len(info.module) + 1:])
-        else:
-            parts.append(qname)
-    return " -> ".join(parts)
+    return short_chain(graph, chain)
 
 
 class WorkerPurityRule:

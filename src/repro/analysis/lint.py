@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 import ast
+import time
+from collections import Counter
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.analysis.context import ProjectContext, SourceFile
 from repro.analysis.findings import Finding, canonical_id, suppressed
 from repro.analysis.interproc.interproc_rules import DEEP_RULES
+from repro.analysis.perf.rules import PERF_RULES
 from repro.analysis.rules import DEFAULT_RULES, LintRule
 
 #: Directories never worth linting.
@@ -22,10 +26,14 @@ _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
 #: define demonstration policies without registering them.  The deep
 #: tier (R013-R015) is likewise scoped to ``src``: test doubles and
 #: example policies deliberately poke shared state and fake kernels.
+#: The perf tier (R016-R018) is likewise scoped to ``src``: test
+#: fixtures and examples build throwaway objects in loops on purpose.
 PROFILES: dict[str, frozenset[str]] = {
     "tests": frozenset({"R002", "R004", "R005", "R011",
-                        "R013", "R014", "R015"}),
-    "examples": frozenset({"R004", "R013", "R014", "R015"}),
+                        "R013", "R014", "R015",
+                        "R016", "R017", "R018"}),
+    "examples": frozenset({"R004", "R013", "R014", "R015",
+                           "R016", "R017", "R018"}),
 }
 
 
@@ -98,42 +106,99 @@ def parse_files(
     return sources, errors
 
 
+@dataclass
+class TierStats:
+    """Per-tier accounting for ``--statistics``."""
+
+    name: str
+    elapsed: float
+    count: int
+
+
+@dataclass
+class LintReport:
+    """Findings plus the per-tier timings of the run that produced them."""
+
+    findings: list[Finding]
+    tiers: list[TierStats] = field(default_factory=list)
+
+    def rule_counts(self) -> dict[str, int]:
+        return dict(Counter(finding.rule_id for finding in self.findings))
+
+
+def lint_report(
+    paths: Sequence[str | Path],
+    rules: Sequence[LintRule] | None = None,
+    select: Iterable[str] | None = None,
+    deep: bool = False,
+    perf: bool = False,
+) -> LintReport:
+    """Run the lint tiers over ``paths``; findings plus tier timings.
+
+    ``select`` restricts the run to the given rule ids — historical
+    aliases resolve through :data:`~repro.analysis.findings.RULE_ALIASES`
+    (``["R001"]`` selects the R010 successor) and deep/perf-tier ids
+    are selectable without ``deep``/``perf``; ``rules`` substitutes the
+    rule set entirely; ``deep=True`` adds the interprocedural tier
+    (R013-R015) and ``perf=True`` the hot-path tier (R016-R018) to the
+    default set.  Directory :data:`PROFILES` switch rules off per file.
+
+    Files are parsed once for the whole run (shared ``_PARSE_CACHE``)
+    and all tiers lint the same :class:`ProjectContext`, so a combined
+    ``--deep --perf`` run builds each AST — and the interproc call
+    graph hanging off it — exactly once.
+    """
+    # The tiers duck-type ``LintRule`` (the deep/perf rules do not
+    # inherit it), so the catalogue is deliberately untyped.
+    if rules is not None:
+        tiers: list[tuple[str, list[Any]]] = [("custom", list(rules))]
+    else:
+        include_all = select is not None
+        tiers = [("base", list(DEFAULT_RULES))]
+        if deep or include_all:
+            tiers.append(("deep", list(DEEP_RULES)))
+        if perf or include_all:
+            tiers.append(("perf", list(PERF_RULES)))
+    if select is not None:
+        wanted = {canonical_id(rule_id) for rule_id in select}
+        tiers = [
+            (name, [rule for rule in tier if rule_ids(rule) & wanted])
+            for name, tier in tiers
+        ]
+        tiers = [(name, tier) for name, tier in tiers if tier]
+    sources, parse_errors = parse_files(iter_python_files(paths))
+    project = ProjectContext.build(sources)
+    findings = list(parse_errors)
+    stats: list[TierStats] = []
+    for name, tier in tiers:
+        started = time.perf_counter()
+        tier_findings: list[Finding] = []
+        for src in sources:
+            lines = src.lines
+            disabled = disabled_for(src.path)
+            for rule in tier:
+                if rule.rule_id in disabled:
+                    continue
+                aliases = tuple(getattr(rule, "aliases", ()))
+                for finding in rule.check(src, project):
+                    if not suppressed(finding, lines, aliases):
+                        tier_findings.append(finding)
+        stats.append(TierStats(
+            name=name,
+            elapsed=time.perf_counter() - started,
+            count=len(tier_findings),
+        ))
+        findings.extend(tier_findings)
+    return LintReport(findings=sorted(findings), tiers=stats)
+
+
 def lint_paths(
     paths: Sequence[str | Path],
     rules: Sequence[LintRule] | None = None,
     select: Iterable[str] | None = None,
     deep: bool = False,
+    perf: bool = False,
 ) -> list[Finding]:
-    """Run the lint rules over ``paths`` and return sorted findings.
-
-    ``select`` restricts the run to the given rule ids — historical
-    aliases resolve through :data:`~repro.analysis.findings.RULE_ALIASES`
-    (``["R001"]`` selects the R010 successor) and deep-tier ids are
-    selectable without ``deep=True``; ``rules`` substitutes the rule
-    set entirely; ``deep=True`` adds the interprocedural tier
-    (R013-R015) to the default set.  Directory :data:`PROFILES` switch
-    rules off per file.
-    """
-    if rules is not None:
-        catalogue = list(rules)
-    elif select is not None or deep:
-        catalogue = [*DEFAULT_RULES, *DEEP_RULES]
-    else:
-        catalogue = list(DEFAULT_RULES)
-    active = catalogue
-    if select is not None:
-        wanted = {canonical_id(rule_id) for rule_id in select}
-        active = [rule for rule in catalogue if rule_ids(rule) & wanted]
-    sources, findings = parse_files(iter_python_files(paths))
-    project = ProjectContext.build(sources)
-    for src in sources:
-        lines = src.lines
-        disabled = disabled_for(src.path)
-        for rule in active:
-            if rule.rule_id in disabled:
-                continue
-            aliases = tuple(getattr(rule, "aliases", ()))
-            for finding in rule.check(src, project):
-                if not suppressed(finding, lines, aliases):
-                    findings.append(finding)
-    return sorted(findings)
+    """Sorted findings of :func:`lint_report` (the historical API)."""
+    return lint_report(
+        paths, rules=rules, select=select, deep=deep, perf=perf).findings

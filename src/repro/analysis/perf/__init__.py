@@ -1,0 +1,30 @@
+"""Performance lint tier: hot-region discovery, rules R016-R018, ratchet."""
+
+from repro.analysis.perf.baseline import (
+    BASELINE_VERSION,
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.perf.hotpath import HotRegions, hot_regions
+from repro.analysis.perf.rules import (
+    PERF_RULES,
+    HotLoopAllocationRule,
+    NumpyChurnRule,
+    UnhoistedLookupRule,
+)
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "baseline_key",
+    "load_baseline",
+    "write_baseline",
+    "HotRegions",
+    "hot_regions",
+    "PERF_RULES",
+    "HotLoopAllocationRule",
+    "NumpyChurnRule",
+    "UnhoistedLookupRule",
+]

@@ -1,0 +1,78 @@
+"""Ratcheting baseline for the perf lint tier.
+
+The ratchet lets the tier land without a flag-day cleanup: findings
+present when the baseline was recorded are tolerated, anything *new*
+fails the run, and ``--update-baseline`` re-records after intentional
+changes.  Keys are ``(path, rule_id, message)`` with a multiplicity
+count — deliberately line-number-free, so unrelated edits that shift a
+tolerated finding a few lines do not break CI, while a second instance
+of the same hazard in the same file still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+#: Schema version recorded in the baseline file.
+BASELINE_VERSION = 1
+
+#: One baseline key: posix-normalised path, rule id, message.
+Key = tuple[str, str, str]
+
+
+def baseline_key(finding: Finding) -> Key:
+    return (Path(finding.path).as_posix(), finding.rule_id, finding.message)
+
+
+def load_baseline(path: str | Path) -> Counter[Key]:
+    """Tolerated finding counts from a baseline file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    tolerated: Counter[Key] = Counter()
+    for entry in data.get("findings", []):
+        key = (entry["path"], entry["rule_id"], entry["message"])
+        tolerated[key] += int(entry.get("count", 1))
+    return tolerated
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    tolerated: Counter[Key],
+) -> tuple[list[Finding], int]:
+    """``(new findings, suppressed count)`` after the ratchet.
+
+    Findings arrive sorted, so when a file has both tolerated and new
+    instances of one key, the earliest occurrences consume the budget
+    and the later ones are reported as new.
+    """
+    remaining = Counter(tolerated)
+    fresh: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> int:
+    """Record ``findings`` as the new baseline; returns the key count."""
+    counts = Counter(baseline_key(finding) for finding in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": key[0], "rule_id": key[1],
+             "message": key[2], "count": count}
+            for key, count in sorted(counts.items())
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(counts)

@@ -380,7 +380,7 @@ class SanitizedPolicy:
             inner_batch((page,), (is_write,))
             after_access(page, is_write)
 
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         """Policy's own structural checks plus the deep sanitizer pass."""
         self._inner.validate()
         self.sanitizer.check_deep(include_policy=False)

@@ -364,7 +364,10 @@ def _cmd_lint(args) -> int:
     if args.list_rules:
         return list_rules()
     return run_lint(args.paths, select=args.select, deep=args.deep,
-                    fmt=args.format, fix=args.fix)
+                    perf=args.perf, fmt=args.format, fix=args.fix,
+                    baseline=args.baseline,
+                    update_baseline=args.update_baseline,
+                    statistics=args.statistics)
 
 
 def _cmd_profile(args) -> int:
@@ -637,7 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the project lint rules (R002-R015) over source paths",
+        help="run the project lint rules (R002-R018) over source paths",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -646,6 +649,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deep", action="store_true",
                    help="add the interprocedural tier (R013-R015: worker "
                         "purity, sync-before-emit, digest stability)")
+    p.add_argument("--perf", action="store_true",
+                   help="add the hot-path performance tier (R016-R018: "
+                        "per-iteration allocation, unhoisted lookups, "
+                        "numpy scalar boxing/dtype churn)")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="ratchet against a baseline file: findings "
+                        "recorded there are tolerated, new ones fail")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="re-record the baseline from the current "
+                        "findings and exit clean")
+    p.add_argument("--statistics", action="store_true",
+                   help="print per-tier timings and per-rule finding "
+                        "counts to stderr")
     p.add_argument("--format", choices=["text", "json", "github"],
                    default="text",
                    help="output format (default: text)")

@@ -681,7 +681,7 @@ class MigrationLRUPolicy(HybridMemoryPolicy):
         """Called after a page migrates DRAM -> NVM."""
 
     # ------------------------------------------------------------------
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         super().validate()
         self.dram_lru.check()
         self.nvm_lru.check()

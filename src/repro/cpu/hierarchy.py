@@ -140,9 +140,10 @@ class CacheHierarchy:
         self, line: int, core: int, events: list[tuple[int, bool]]
     ) -> None:
         """Write-invalidate: kill other cores' copies of the line."""
+        drop = self._directory.drop
         for other in self._directory.others(line, core):
             dirty = self.l1d[other].invalidate(line)
-            self._directory.drop(line, other)
+            drop(line, other)
             self.stats.coherence_invalidations += 1
             if dirty:
                 self._write_back_to_llc(line, events)

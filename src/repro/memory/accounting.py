@@ -147,7 +147,7 @@ class AccessAccounting:
     # ----------------------------------------------------------------------
     # Maintenance
     # ----------------------------------------------------------------------
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         """Raise :class:`ValueError` on internally inconsistent counts."""
         for field_info in fields(self):
             if getattr(self, field_info.name) < 0:

@@ -203,21 +203,21 @@ class MemoryManager:
         entry_a.location, entry_b.location = entry_b.location, entry_a.location
         entry_a.frame, entry_b.frame = entry_b.frame, entry_a.frame
         events = self.events
+        transfer_page = self.dma.transfer_page
+        record_migration_in = self.wear.record_migration_in
+        dram, nvm = PageLocation.DRAM, PageLocation.NVM
         for entry in (entry_a, entry_b):
-            self.dma.transfer_page(
-                PageLocation.NVM if entry.location is PageLocation.DRAM
-                else PageLocation.DRAM,
-                entry.location,
-            )
-            if entry.location is PageLocation.DRAM:
+            transfer_page(nvm if entry.location is dram else dram,
+                          entry.location)
+            if entry.location is dram:
                 self.accounting.migrations_to_dram += 1
             else:
                 self.accounting.migrations_to_nvm += 1
-                self.wear.record_migration_in(entry.page)
+                record_migration_in(entry.page)
             if events is not None:
                 events.migration(
                     entry.page,
-                    entry.location is PageLocation.DRAM,
+                    entry.location is dram,
                     entry.access_count,
                     entry.write_count,
                 )
@@ -321,7 +321,7 @@ class MemoryManager:
     # ------------------------------------------------------------------
     # Invariants
     # ------------------------------------------------------------------
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         """Cross-check page table, frame pools and accounting."""
         dram_resident = self.page_table.count_in(PageLocation.DRAM)
         nvm_resident = self.page_table.count_in(PageLocation.NVM)

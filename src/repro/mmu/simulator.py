@@ -303,13 +303,14 @@ class HybridMemorySimulator:
         # straight loop).
         if self.validate_every > 0:
             access = self.policy.access
+            validate = self.policy.validate
             validate_every = self.validate_every
             for index, (page, is_write) in enumerate(
                 trace.iter_pairs(), base + 1
             ):
                 access(page, is_write)
                 if index % validate_every == 0:
-                    self.policy.validate()
+                    validate()
         elif self.batch:
             # One .tolist() each: the whole span becomes native
             # ints/bools up front, and the policy's batch kernel runs

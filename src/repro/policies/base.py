@@ -65,7 +65,7 @@ class HybridMemoryPolicy(abc.ABC):
         for page, is_write in zip(pages, writes):
             access(page, is_write)
 
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         """Check policy-internal state against the manager's.
 
         Subclasses extend this with their own structure checks; the

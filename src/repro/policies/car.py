@@ -142,7 +142,7 @@ class CARReplacement(ReplacementAlgorithm):
     def ghost_pages(self) -> int:
         return len(self._b1) + len(self._b2)
 
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         super().validate()
         if set(self._t1) & set(self._t2):
             raise AssertionError("page resident in both CAR clocks")

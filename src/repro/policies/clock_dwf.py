@@ -336,7 +336,7 @@ class ClockDWFPolicy(HybridMemoryPolicy):
         self.nvm_clock.insert(victim)
 
     # ------------------------------------------------------------------
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         super().validate()
         dram_pages = set(self.mm.page_table.pages_in(PageLocation.DRAM))
         nvm_pages = set(self.mm.page_table.pages_in(PageLocation.NVM))

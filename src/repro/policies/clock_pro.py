@@ -293,7 +293,7 @@ class ClockProReplacement(ReplacementAlgorithm):
             self._unlink_only(node)
 
     # ------------------------------------------------------------------
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         super().validate()
         hot = cold = nonresident = 0
         for node in self._nodes.values():

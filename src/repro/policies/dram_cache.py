@@ -76,7 +76,7 @@ class DramCachePolicy(HybridMemoryPolicy):
         self._fill_cache(page)
 
     # ------------------------------------------------------------------
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         super().validate()
         self.nvm_lru.check()
         self.cache_lru.check()

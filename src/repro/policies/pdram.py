@@ -85,7 +85,7 @@ class PDRAMPolicy(HybridMemoryPolicy):
         self.mm.fault_fill(page, PageLocation.NVM, is_write)
         self.nvm_lru.push_front(page)
 
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         super().validate()
         self.dram_lru.check()
         self.nvm_lru.check()

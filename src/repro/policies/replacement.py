@@ -53,7 +53,7 @@ class ReplacementAlgorithm(abc.ABC):
     def full(self) -> bool:
         return len(self) >= self.capacity
 
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         """Structural self-check; subclasses may extend."""
         if len(self) > self.capacity:
             raise AssertionError(
@@ -95,7 +95,7 @@ class LRUReplacement(ReplacementAlgorithm):
         """MRU-to-LRU page order (diagnostics/tests)."""
         return self._queue.pages()
 
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         super().validate()
         self._queue.check()
 
@@ -200,7 +200,7 @@ class ClockReplacement(ReplacementAlgorithm):
                 break
         return result
 
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         super().validate()
         if len(self.pages()) != len(self._nodes):
             raise AssertionError("clock ring out of sync with index")

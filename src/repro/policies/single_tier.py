@@ -235,7 +235,7 @@ class SingleTierPolicy(HybridMemoryPolicy):
             accounting.nvm_write_hits += nvm_write_hits
             wear.request_writes += request_writes
 
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         super().validate()
         self.algorithm.validate()
         resident = set(self.mm.page_table.pages_in(self.location))

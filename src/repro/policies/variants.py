@@ -102,7 +102,7 @@ class StaticPartitionPolicy(HybridMemoryPolicy):
         self.mm.fault_fill(page, home, is_write)
         algorithm.insert(page, is_write)
 
-    def validate(self) -> None:
+    def validate(self) -> None:  # repro: cold
         super().validate()
         self.dram_lru.validate()
         self.nvm_lru.validate()
