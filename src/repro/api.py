@@ -22,6 +22,9 @@ Groups
 * **Experiments** — declarative :class:`RunSpec`, the parallel
   executor with its persistent cache, the figure/table/claims
   pipeline and the parameter sweeps.
+* **Analytic engine** — the closed-form estimator behind
+  ``RunSpec(engine="analytic")``: workload profiling, the Che/Markov
+  building blocks and the per-policy estimators.
 * **Observability** — typed event streams: config, bus, sinks and the
   serialisable summaries that ride on :class:`RunResult`.
 """
@@ -72,7 +75,7 @@ from repro.experiments.executor import (
 from repro.experiments.figures import FIGURE_BUILDERS, build_figure
 from repro.experiments.report import figure_summary, render_figure, render_table
 from repro.experiments.runner import CORE_POLICIES, ExperimentRunner
-from repro.experiments.runspec import RunSpec
+from repro.experiments.runspec import ENGINES, RunSpec
 from repro.experiments.sweep import (
     AdaptiveComparison,
     SweepPoint,
@@ -82,6 +85,21 @@ from repro.experiments.sweep import (
     window_sweep,
 )
 from repro.experiments.tables import table_ii, table_iii, table_iv
+
+# --- Analytic engine -------------------------------------------------
+from repro.model import (
+    ANALYTIC_POLICIES,
+    UnsupportedPolicyError,
+    WorkloadProfile,
+    characteristic_time,
+    estimate_run,
+    estimate_spec,
+    profile_trace,
+    profile_workload,
+    promotion_probability,
+    supports_policy,
+    survival_probability,
+)
 
 # --- Observability ---------------------------------------------------
 from repro.obs import (
@@ -140,6 +158,7 @@ __all__ = [
     "AdaptiveComparison",
     "CORE_POLICIES",
     "DEFAULT_CACHE_DIR",
+    "ENGINES",
     "ExecutorError",
     "ExecutorStats",
     "ExperimentRunner",
@@ -162,6 +181,18 @@ __all__ = [
     "threshold_sweep",
     "verify_claims",
     "window_sweep",
+    # analytic engine
+    "ANALYTIC_POLICIES",
+    "UnsupportedPolicyError",
+    "WorkloadProfile",
+    "characteristic_time",
+    "estimate_run",
+    "estimate_spec",
+    "profile_trace",
+    "profile_workload",
+    "promotion_probability",
+    "supports_policy",
+    "survival_probability",
     # observability
     "BeneficialMigrationClassifier",
     "BufferSink",

@@ -62,7 +62,7 @@ from repro.experiments.executor import (
 from repro.experiments.figures import FIGURE_BUILDERS
 from repro.experiments.report import render_figure, render_table
 from repro.experiments.runner import CORE_POLICIES, ExperimentRunner
-from repro.experiments.runspec import RunSpec
+from repro.experiments.runspec import ENGINES, RunSpec
 from repro.experiments.sweep import dram_ratio_sweep, threshold_sweep, window_sweep
 from repro.experiments.tables import table_ii, table_iii, table_iv
 from repro.memory.accounting import AccessAccounting
@@ -217,6 +217,23 @@ def _event_config(args) -> EventConfig | None:
     return EventConfig(trace=True)
 
 
+def _engine_conflict(args) -> bool:
+    """Report (to stderr) the one invalid grid-flag combination.
+
+    The analytic engine evaluates closed forms — there is no replay to
+    observe, so ``--events`` has nothing to collect.  Catching it here
+    gives a usage error instead of the ``RunSpec`` constructor's
+    ``ValueError`` traceback.
+    """
+    if getattr(args, "engine", "simulate") != "analytic":
+        return False
+    if not getattr(args, "events", None):
+        return False
+    print("--engine analytic cannot collect event streams; drop "
+          "--events or use --engine simulate", file=sys.stderr)
+    return True
+
+
 def _write_event_traces(
     path_arg: str,
     pairs: Iterable[tuple[RunSpec, EventSummary | None]],
@@ -253,12 +270,14 @@ def _write_event_traces(
 
 
 def _cmd_run(args) -> int:
+    if _engine_conflict(args):
+        return 2
     executor = _executor_from(args)
     workloads = args.workload or list(WORKLOAD_NAMES)
     policies = args.policy or list(CORE_POLICIES)
     specs = [
         RunSpec.core(workload, policy, seed=args.seed,
-                     events=_event_config(args))
+                     events=_event_config(args), engine=args.engine)
         for workload in workloads
         for policy in policies
     ]
@@ -292,8 +311,11 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_figure(args) -> int:
+    if _engine_conflict(args):
+        return 2
     runner = ExperimentRunner(seed=args.seed, executor=_executor_from(args),
-                              events=_event_config(args))
+                              events=_event_config(args),
+                              engine=args.engine)
     if args.id == "all":
         ids: Sequence[str] = sorted(FIGURE_BUILDERS)
     elif args.id in FIGURE_BUILDERS:
@@ -340,8 +362,11 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_claims(args) -> int:
+    if _engine_conflict(args):
+        return 2
     runner = ExperimentRunner(seed=args.seed, executor=_executor_from(args),
-                              events=_event_config(args))
+                              events=_event_config(args),
+                              engine=args.engine)
     results = verify_claims(runner)
     print(render_table(
         ["id", "ok", "claim", "paper", "measured"],
@@ -374,10 +399,12 @@ def _cmd_profile(args) -> int:
     import cProfile
     import pstats
 
+    if _engine_conflict(args):
+        return 2
     if args.sanitize:
         os.environ[SANITIZE_ENV] = "1"
     spec = RunSpec.core(args.workload, args.policy, seed=args.seed,
-                        events=_event_config(args))
+                        events=_event_config(args), engine=args.engine)
     # Render outside the profiled region: trace synthesis is numpy-bound
     # and would drown out the simulation kernel we care about.
     instance = spec.render()
@@ -396,17 +423,22 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    if _engine_conflict(args):
+        return 2
     executor = _executor_from(args)
     events = _event_config(args)
     if args.kind == "threshold":
         points = threshold_sweep(args.workload, seed=args.seed,
-                                 executor=executor, events=events)
+                                 executor=executor, events=events,
+                                 engine=args.engine)
     elif args.kind == "window":
         points = window_sweep(args.workload, seed=args.seed,
-                              executor=executor, events=events)
+                              executor=executor, events=events,
+                              engine=args.engine)
     else:
         points = dram_ratio_sweep(args.workload, seed=args.seed,
-                                  executor=executor, events=events)
+                                  executor=executor, events=events,
+                                  engine=args.engine)
     print(render_table(
         [points[0].parameter, "memory time (ns)", "APPR (nJ)",
          "promotions", "demotions", "NVM writes"],
@@ -466,6 +498,10 @@ def _reconstruct(result: RunResult) -> tuple[bool, str]:
 
 
 def _cmd_events(args) -> int:
+    if args.engine == "analytic":
+        print("the events report replays the simulator; --engine "
+              "analytic has no event stream to observe", file=sys.stderr)
+        return 2
     executor = _executor_from(args)
     policies = args.policy or ["clock-dwf", "proposed"]
     config = EventConfig(buckets=args.intervals, trace=bool(args.events))
@@ -576,6 +612,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect event streams and write JSONL trace(s) to PATH "
              "(a .jsonl file for a single run, else a directory)")
     grid.add_argument("--seed", type=int, default=2016)
+    grid.add_argument(
+        "--engine", choices=list(ENGINES), default="simulate",
+        help="execution engine: 'simulate' replays the trace through "
+             "the event-driven simulator, 'analytic' evaluates the "
+             "closed-form model (repro.model) instead")
 
     p = sub.add_parser(
         "run", parents=[grid],

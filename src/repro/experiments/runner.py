@@ -9,13 +9,12 @@ ParallelExecutor` (parallel with ``jobs > 1``, optionally backed by the
 persistent disk cache), and memoises the merged results in-process so
 every figure derives from the same run objects.
 
-``ExperimentRunner.run(workload, policy)`` keeps its historical
-signature as a deprecated shim over ``submit``.
+``ExperimentRunner.run(workload, policy)`` — the historical
+cell-at-a-time entry point — is gone; build specs with ``spec_for`` /
+``RunSpec.core`` and batch them through ``submit``.
 """
 
 from __future__ import annotations
-
-import warnings
 
 from repro.experiments.executor import ParallelExecutor, ResultCache
 from repro.experiments.results import WorkloadRuns
@@ -52,6 +51,10 @@ class ExperimentRunner:
     events:
         Event-stream collection config attached to every spec the
         runner builds (``None`` keeps the observability bus detached).
+    engine:
+        Execution engine stamped on every spec the runner builds:
+        ``"simulate"`` (default) or ``"analytic"``
+        (:data:`repro.experiments.runspec.ENGINES`).
     """
 
     def __init__(
@@ -64,12 +67,14 @@ class ExperimentRunner:
         cache: ResultCache | None = None,
         executor: ParallelExecutor | None = None,
         events: EventConfig | None = None,
+        engine: str = "simulate",
     ) -> None:
         self.request_scale = request_scale
         self.footprint_scale = footprint_scale
         self.seed = seed
         self.workload_names = workloads
         self.events = events
+        self.engine = engine
         self.executor = executor or ParallelExecutor(jobs=jobs, cache=cache)
         self._instances: dict[str, WorkloadInstance] = {}
         self._runs: dict[RunSpec, RunResult] = {}
@@ -101,6 +106,7 @@ class ExperimentRunner:
             footprint_scale=self.footprint_scale,
             seed=self.seed,
             events=self.events,
+            engine=self.engine,
         )
 
     def submit(self, specs: list[RunSpec]) -> list[RunResult]:
@@ -118,23 +124,17 @@ class ExperimentRunner:
         return [self._runs[spec] for spec in specs]
 
     def run(self, workload_name: str, policy_name: str) -> RunResult:
-        """Simulate one policy on one workload (cached).
+        """Removed — the historical cell-at-a-time entry point.
 
-        .. deprecated::
-            The historical cell-at-a-time entry point.  Build a spec
-            with :meth:`spec_for` (or :meth:`RunSpec.core`) and go
-            through :meth:`submit`/:meth:`RunSpec.execute`, or batch
-            through :meth:`grid`/:meth:`runs_for` so cells fan out
-            together.
+        Raises immediately with migration directions; kept as a stub
+        (rather than deleted) so stale call sites fail with an
+        actionable message instead of an ``AttributeError``.
         """
-        warnings.warn(
-            "ExperimentRunner.run() is deprecated; build a RunSpec "
-            "(spec_for/RunSpec.core) and use submit()/RunSpec.execute() "
-            "so runs batch through the executor",
-            DeprecationWarning,
-            stacklevel=2,
+        raise RuntimeError(
+            "ExperimentRunner.run() was removed; build a RunSpec "
+            "(spec_for/RunSpec.core) and use submit()/RunSpec.execute(), "
+            "or batch through grid()/runs_for() so cells fan out together"
         )
-        return self.submit([self.spec_for(workload_name, policy_name)])[0]
 
     def runs_for(self, workload_name: str,
                  policies: tuple[str, ...] = CORE_POLICIES) -> WorkloadRuns:

@@ -74,6 +74,11 @@ SPEC_TRANSFORMS: dict[str, Callable[..., HybridMemorySpec]] = {
 #: Normalised override form: sorted ``(name, value)`` pairs.
 Overrides = tuple[tuple[str, Any], ...]
 
+#: Execution engines a spec can name.  ``simulate`` replays the trace
+#: through :class:`HybridMemorySimulator`; ``analytic`` evaluates the
+#: Markov-chain estimator (:mod:`repro.model`) on the workload profile.
+ENGINES = ("simulate", "analytic")
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -105,6 +110,13 @@ class RunSpec:
         mapping is normalised to an ``EventConfig``.  Part of the
         spec's identity: event-bearing results get their own cache
         entries.
+    engine:
+        Execution engine (:data:`ENGINES`).  ``"simulate"`` (default)
+        replays the trace; ``"analytic"`` evaluates the closed-form
+        estimator in :mod:`repro.model`.  Part of the spec's identity —
+        analytic results get their own digests and cache entries —
+        but the default keeps pre-engine digests unchanged, so warm
+        caches survive.  Analytic runs carry no event stream.
     """
 
     workload: str
@@ -116,8 +128,18 @@ class RunSpec:
     spec_transform: tuple = ()
     warmup_fraction: float | None = None
     events: EventConfig | None = None
+    engine: str = "simulate"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            known = ", ".join(ENGINES)
+            raise ValueError(
+                f"unknown engine {self.engine!r}; known: {known}")
+        if self.engine == "analytic" and self.events is not None:
+            raise ValueError(
+                "engine=\"analytic\" estimates aggregate counters and "
+                "produces no event stream; drop events= or use "
+                "engine=\"simulate\"")
         if self.events is not None and not isinstance(self.events,
                                                       EventConfig):
             object.__setattr__(
@@ -169,6 +191,7 @@ class RunSpec:
             self.seed,
             -1.0 if self.warmup_fraction is None else self.warmup_fraction,
             repr(self.events),
+            self.engine,
         )
 
     def to_dict(self) -> dict:
@@ -185,6 +208,7 @@ class RunSpec:
             "events": (
                 self.events.to_dict() if self.events is not None else None
             ),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -205,18 +229,27 @@ class RunSpec:
                 EventConfig.from_dict(events) if events is not None
                 else None
             ),
+            engine=data.get("engine", "simulate"),
         )
 
     def digest(self) -> str:
         """Content address of the spec (code version is layered on by
         the cache, so the digest itself is pure input identity)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True,
+        data = self.to_dict()
+        if data["engine"] == "simulate":
+            # Back-compat: the engine field postdates the cache format;
+            # default-engine specs keep their pre-engine digests so
+            # existing warm caches stay valid.
+            del data["engine"]
+        canonical = json.dumps(data, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
 
     def label(self) -> str:
         """Short human-readable form for progress reporting."""
         parts = [self.workload, self.policy]
+        if self.engine != "simulate":
+            parts.append(self.engine)
         if self.spec_transform:
             parts.append("/".join(str(p) for p in self.spec_transform))
         if self.policy_overrides:
@@ -253,7 +286,7 @@ class RunSpec:
         instance: WorkloadInstance | None = None,
         factory: PolicyFactory | None = None,
     ) -> RunResult:
-        """Run the simulation this spec describes.
+        """Run (or analytically estimate) what this spec describes.
 
         ``instance`` lets callers (the executor's per-worker cache, a
         sweep over one workload) reuse an already-rendered workload;
@@ -261,8 +294,18 @@ class RunSpec:
         substitutes the policy factory — used by studies that need the
         policy *object* afterwards (e.g. the adaptive-threshold
         comparison); such runs bypass the result cache because the
-        factory is not part of the spec's identity.
+        factory is not part of the spec's identity (and are
+        necessarily simulations: the analytic engine has no policy
+        object to hand back).
         """
+        if self.engine == "analytic":
+            if factory is not None:
+                raise ValueError(
+                    "engine=\"analytic\" cannot honour a custom policy "
+                    "factory; use engine=\"simulate\"")
+            from repro.model.estimator import estimate_spec
+
+            return estimate_spec(self, instance=instance)
         if instance is None:
             instance = self.render()
         simulator = HybridMemorySimulator(

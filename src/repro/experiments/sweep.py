@@ -65,13 +65,15 @@ def threshold_sweep(
     seed: int = 2016,
     executor: ParallelExecutor | None = None,
     events: EventConfig | None = None,
+    engine: str = "simulate",
 ) -> list[SweepPoint]:
     """Sweep both promotion thresholds together (A-1).
 
     The write threshold tracks at half the read threshold, preserving
     the scheme's write-priority rule.  ``events`` attaches the
     observability bus to every point (callers read the per-spec
-    summaries back off the executor).
+    summaries back off the executor).  ``engine="analytic"`` evaluates
+    the closed-form estimator instead of simulating each point.
     """
     base = base_config or MigrationConfig()
     specs = [
@@ -80,6 +82,7 @@ def threshold_sweep(
             policy="proposed",
             seed=seed,
             events=events,
+            engine=engine,
             policy_overrides={
                 "read_window_fraction": base.read_window_fraction,
                 "write_window_fraction": base.write_window_fraction,
@@ -101,6 +104,7 @@ def window_sweep(
     seed: int = 2016,
     executor: ParallelExecutor | None = None,
     events: EventConfig | None = None,
+    engine: str = "simulate",
 ) -> list[SweepPoint]:
     """Sweep the counter-window size (A-2); the write window tracks at
     1.5x the read window, capped at the whole queue."""
@@ -111,6 +115,7 @@ def window_sweep(
             policy="proposed",
             seed=seed,
             events=events,
+            engine=engine,
             policy_overrides={
                 "read_window_fraction": fraction,
                 "write_window_fraction": min(1.0, fraction * 1.5),
@@ -132,6 +137,7 @@ def dram_ratio_sweep(
     seed: int = 2016,
     executor: ParallelExecutor | None = None,
     events: EventConfig | None = None,
+    engine: str = "simulate",
 ) -> list[SweepPoint]:
     """Sweep DRAM's share of the hybrid memory (A-3)."""
     specs = [
@@ -140,6 +146,7 @@ def dram_ratio_sweep(
             policy="proposed",
             seed=seed,
             events=events,
+            engine=engine,
             spec_transform=("dram-fraction", ratio),
         )
         for ratio in ratios

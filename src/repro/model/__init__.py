@@ -1,0 +1,37 @@
+"""Analytic engine: Markov-chain run estimation without simulation.
+
+The fast tier behind ``RunSpec(engine="analytic")`` — closed-form
+AMAT / APPR / NVM-write / lifetime estimates for the proposed policy
+and the single-tier baselines, following the authors' analytical model
+(Salkhordeh, Mutlu, Asadi — arXiv:1903.10067).  The simulator stays
+the exact oracle; this package answers parameter sweeps at thousands
+of configurations per second from one workload profile.
+"""
+
+from repro.model.estimator import (
+    ANALYTIC_POLICIES,
+    UnsupportedPolicyError,
+    estimate_run,
+    estimate_spec,
+    supports_policy,
+)
+from repro.model.markov import (
+    characteristic_time,
+    promotion_probability,
+    survival_probability,
+)
+from repro.model.profile import WorkloadProfile, profile_trace, profile_workload
+
+__all__ = [
+    "ANALYTIC_POLICIES",
+    "UnsupportedPolicyError",
+    "WorkloadProfile",
+    "characteristic_time",
+    "estimate_run",
+    "estimate_spec",
+    "profile_trace",
+    "profile_workload",
+    "promotion_probability",
+    "supports_policy",
+    "survival_probability",
+]

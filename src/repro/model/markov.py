@@ -1,0 +1,248 @@
+"""Markov-chain machinery for the analytic engine.
+
+Two vectorised solvers shared by the policy estimators
+(:mod:`repro.model.estimator`):
+
+* **Che's characteristic time** (:func:`characteristic_time`) — for an
+  LRU list fed by independent per-page reference rates, the time ``T``
+  a page survives without being touched is approximately constant
+  across pages, fixed by the capacity constraint
+  ``sum_i (1 - exp(-rate_i * T)) = C``.  A page referenced at rate
+  ``r`` then survives between consecutive accesses with probability
+  ``1 - exp(-r * T)`` (:func:`survival_probability`) — the transition
+  probabilities of every queue-position chain in the model.
+
+* **The promotion counter chain** (:func:`promotion_probability`) —
+  the proposed scheme's windowed counter is an absorbing Markov chain
+  over counter values ``k = 0..threshold``: each successive access to
+  an NVM-resident page either ticks the counter (same-direction hit
+  inside the window), leaves it (other-direction hit inside the
+  window), restarts it (hit outside the window), or kills the
+  residency (the page ages out of NVM).  The absorption probability
+  into "promoted" — reached when a tick pushes the counter past the
+  threshold — has a closed back-substitution form, solved here for
+  every page at once.
+
+Both follow the authors' analytical model (Salkhordeh, Mutlu, Asadi —
+arXiv:1903.10067), re-derived for this repo's exact Algorithm 1
+semantics (counters restart at 1 on an out-of-window hit; promotion
+fires strictly above the threshold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "characteristic_time",
+    "survival_probability",
+    "promotion_probability",
+    "promotion_steps",
+]
+
+#: Denominator guard for the chain solves (probabilities of exactly 1).
+_EPS = 1e-12
+
+
+def _geometric_sum(ratio: np.ndarray, n: int) -> np.ndarray:
+    """``sum_{j=0}^{n} ratio**j`` elementwise, ``n >= 0``, ratio in
+    [0, 1] (the chains' tick-to-denominator ratio never exceeds 1)."""
+    near_one = np.abs(1.0 - ratio) < 1e-9
+    safe = np.where(near_one, 0.5, ratio)
+    total = (1.0 - np.power(safe, n + 1)) / (1.0 - safe)
+    return np.where(near_one, float(n + 1), total)
+
+
+def occupancy(rates: np.ndarray, time: float) -> float:
+    """Expected pages resident after ``time`` request-slots: Che's LHS."""
+    if time == np.inf:
+        return float(np.count_nonzero(rates > 0))
+    return float(np.sum(-np.expm1(-rates * time)))
+
+
+def characteristic_time(
+    rates: np.ndarray,
+    capacity: float,
+    tolerance: float = 1e-10,
+    max_iterations: int = 200,
+) -> float:
+    """Che's characteristic time of an LRU list of ``capacity`` frames.
+
+    ``rates`` are per-page reference rates in accesses per request
+    slot; the returned ``T`` is in request slots.  Returns ``0`` for an
+    empty list and ``inf`` when every referenced page fits (the list
+    never evicts, so survival is certain).
+    """
+    rates = np.asarray(rates, dtype=np.float64)
+    positive = rates[rates > 0]
+    if capacity <= 0 or positive.size == 0:
+        return 0.0
+    if positive.size <= capacity:
+        return np.inf
+    # Bracket: occupancy is continuous and strictly increasing in T,
+    # from 0 toward the number of referenced pages (> capacity here).
+    low, high = 0.0, 1.0 / float(np.max(positive))
+    while occupancy(positive, high) < capacity:
+        high *= 2.0
+        if high > 1e18:  # numerically flat tail; treat as no eviction
+            return np.inf
+    for _ in range(max_iterations):
+        mid = 0.5 * (low + high)
+        if occupancy(positive, mid) < capacity:
+            low = mid
+        else:
+            high = mid
+        if high - low <= tolerance * max(high, 1.0):
+            break
+    return 0.5 * (low + high)
+
+
+def survival_probability(rates: np.ndarray, time: float) -> np.ndarray:
+    """P(page is re-accessed within ``time``) per page — the chance a
+    resident page survives in a list whose characteristic time is
+    ``time`` (``1 - exp(-rate * time)``, elementwise)."""
+    rates = np.asarray(rates, dtype=np.float64)
+    if time <= 0.0:
+        return np.zeros_like(rates)
+    if time == np.inf:
+        return (rates > 0).astype(np.float64)
+    return -np.expm1(-rates * time)
+
+
+def promotion_probability(
+    in_window: np.ndarray,
+    in_queue: np.ndarray,
+    direction_fraction: np.ndarray,
+    threshold: int,
+) -> np.ndarray:
+    """Per-residency probability that one counter earns a promotion.
+
+    Parameters
+    ----------
+    in_window:
+        Per-page probability the next access arrives while the page
+        still sits inside this counter's position window (``B``).
+    in_queue:
+        Per-page probability the next access arrives while the page is
+        still NVM-resident at all (``A >= B``).
+    direction_fraction:
+        Per-page share of the page's accesses in this counter's
+        direction (read fraction for the read counter, write fraction
+        for the write counter).
+    threshold:
+        The promotion threshold; the counter must *exceed* it.
+
+    Transitions per access to the resident page, from counter ``k``:
+
+    ===========================  ===========  =======================
+    event                        probability  next state
+    ===========================  ===========  =======================
+    same direction, in window    ``B * f``    ``k + 1`` (promote when
+                                              ``k == threshold``)
+    other direction, in window   ``B (1-f)``  ``k``
+    same direction, out of       ``(A-B) f``  ``1`` (counter restarts;
+    window                                    promotes iff threshold=0)
+    other direction, out of      ``(A-B)``    ``0``
+    window                       ``* (1-f)``
+    page aged out of NVM         ``1 - A``    fail (residency over)
+    ===========================  ===========  =======================
+
+    Solved by back-substitution with ``S_k = a_k + b_k S_0 + g_k S_1``,
+    vectorised over pages; returns ``S_0`` (a residency starts with a
+    zeroed counter).
+    """
+    in_window = np.asarray(in_window, dtype=np.float64)
+    in_queue = np.asarray(in_queue, dtype=np.float64)
+    fraction = np.asarray(direction_fraction, dtype=np.float64)
+    tick = in_window * fraction
+    stay = in_window * (1.0 - fraction)
+    outside = np.clip(in_queue - in_window, 0.0, 1.0)
+    restart = outside * fraction
+    clear = outside * (1.0 - fraction)
+    if threshold == 0:
+        # Any same-direction hit promotes (the counter becomes 1 > 0):
+        # a geometric race between "same-direction hit" and "aged out".
+        win = tick + restart
+        lose = 1.0 - in_queue
+        return np.where(win + lose > 0.0, win / np.maximum(win + lose, _EPS),
+                        0.0)
+    # S_k = tick*S_{k+1} + stay*S_k + restart*S_1 + clear*S_0, and the
+    # k = threshold row absorbs with probability ``tick``.  The
+    # back-substitution recurrences are affine with constant
+    # coefficients (``x <- r*x + c`` with ``r = tick/denominator``),
+    # so the sweep collapses to geometric-series closed forms: S_1's
+    # coefficients at depth threshold-1, S_0's one step further.
+    denominator = np.maximum(1.0 - stay, _EPS)
+    ratio = tick / denominator
+    alpha1 = np.power(ratio, threshold)
+    geo1 = _geometric_sum(ratio, threshold - 1)
+    beta1 = clear / denominator * geo1
+    gamma1 = restart / denominator * geo1
+    alpha = ratio * alpha1
+    geo0 = geo1 * ratio + 1.0
+    beta = clear / denominator * geo0
+    gamma = restart / denominator * geo0
+    # S_1 = alpha1 + beta1 S_0 + gamma1 S_1  =>  S_1 = (alpha1 + beta1
+    # S_0) / (1 - gamma1); substitute into S_0's row and solve.
+    s1_denominator = np.maximum(1.0 - gamma1, _EPS)
+    s0_denominator = np.maximum(
+        1.0 - beta - gamma * beta1 / s1_denominator, _EPS
+    )
+    s0 = (alpha + gamma * alpha1 / s1_denominator) / s0_denominator
+    return np.clip(s0, 0.0, 1.0)
+
+
+#: Hitting times beyond this are "never within any finite run".
+_MAX_STEPS = 1e15
+
+
+def promotion_steps(
+    in_window: np.ndarray,
+    in_queue: np.ndarray,
+    direction_fraction: np.ndarray,
+    threshold: int,
+) -> np.ndarray:
+    """Expected accesses until one counter promotes, ignoring aging.
+
+    The no-fail companion of :func:`promotion_probability`: the mean
+    hitting time of the absorbing state from a zeroed counter, with the
+    ``1 - A`` residency-death branch removed (its effect on *whether*
+    promotion happens at all is ``promotion_probability``'s job).  The
+    estimator uses it as a renewal rate — a page with ``n`` NVM
+    accesses in the run cannot promote more than about ``n / steps``
+    times, which is what bounds promotions in a finite run when the
+    infinite-horizon absorption probability saturates at one (memory
+    large enough that residencies never die).
+    """
+    in_window = np.asarray(in_window, dtype=np.float64)
+    in_queue = np.asarray(in_queue, dtype=np.float64)
+    fraction = np.asarray(direction_fraction, dtype=np.float64)
+    tick = in_window * fraction
+    restart = np.clip(in_queue - in_window, 0.0, 1.0) * fraction
+    clear = np.clip(in_queue - in_window, 0.0, 1.0) * (1.0 - fraction)
+    stay = in_window * (1.0 - fraction)
+    if threshold == 0:
+        rate = tick + restart  # any same-direction access promotes
+        return np.minimum(1.0 / np.maximum(rate, 1.0 / _MAX_STEPS),
+                          _MAX_STEPS)
+    # m_k = 1 + stay m_k + tick m_{k+1} + restart m_1 + clear m_0 with
+    # m_{threshold+1} = 0: the same affine back-substitution as the
+    # absorption probability with a "+1 per access" source term, so
+    # the same geometric-series closed forms apply (source 1 in place
+    # of ``clear``/``restart`` for the alpha coefficient).
+    denominator = np.maximum(1.0 - stay, _EPS)
+    ratio = tick / denominator
+    geo1 = _geometric_sum(ratio, threshold - 1)
+    geo0 = geo1 * ratio + 1.0
+    alpha1 = geo1 / denominator
+    beta1 = clear / denominator * geo1
+    gamma1 = restart / denominator * geo1
+    alpha = geo0 / denominator
+    beta = clear / denominator * geo0
+    gamma = restart / denominator * geo0
+    m1_denominator = np.maximum(1.0 - gamma1, _EPS)
+    m0_denominator = np.maximum(
+        1.0 - beta - gamma * beta1 / m1_denominator, _EPS
+    )
+    m0 = (alpha + gamma * alpha1 / m1_denominator) / m0_denominator
+    return np.clip(m0, 1.0, _MAX_STEPS)

@@ -155,25 +155,18 @@ def register_policy(name: str, factory: PolicyFactory) -> None:
 
 
 def proposed_with(config: "MigrationConfig") -> PolicyFactory:
-    """Factory for the proposed scheme with custom thresholds/windows.
+    """Removed — the pre-RunSpec config-object factory.
 
-    .. deprecated::
-        Call ``policy_factory("proposed", overrides)`` with a plain
-        override mapping (or ``asdict(config)``) instead — structured
-        overrides are what :class:`RunSpec` serialises, caches and
-        ships across the worker pool.
+    Raises immediately with migration directions; kept as a stub
+    (rather than deleted) so stale call sites fail with an actionable
+    message instead of an ``ImportError``.
     """
-    import warnings
-    from dataclasses import asdict
-
-    warnings.warn(
-        'proposed_with() is deprecated; use policy_factory("proposed", '
+    raise RuntimeError(
+        'proposed_with() was removed; use policy_factory("proposed", '
         "overrides) with an override mapping (e.g. dataclasses.asdict "
-        "of a MigrationConfig)",
-        DeprecationWarning,
-        stacklevel=2,
+        "of a MigrationConfig) — structured overrides are what RunSpec "
+        "serialises, caches and ships across the worker pool"
     )
-    return policy_factory("proposed", asdict(config))
 
 
 def replacement_algorithm(name: str, capacity: int) -> "ReplacementAlgorithm":

@@ -40,3 +40,17 @@ def test_facade_reexports_are_the_canonical_objects():
 
     assert api.RunSpec is RunSpec
     assert api.EventConfig is EventConfig
+
+
+def test_facade_exports_the_engine_surface():
+    import repro.model as model
+    from repro.experiments.runspec import ENGINES
+
+    assert api.ENGINES is ENGINES
+    assert api.ANALYTIC_POLICIES is model.ANALYTIC_POLICIES
+    assert api.estimate_spec is model.estimate_spec
+    assert api.estimate_run is model.estimate_run
+    assert api.profile_workload is model.profile_workload
+    assert api.WorkloadProfile is model.WorkloadProfile
+    assert api.UnsupportedPolicyError is model.UnsupportedPolicyError
+    assert set(ENGINES) == {"simulate", "analytic"}

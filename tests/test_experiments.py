@@ -105,11 +105,9 @@ class TestRunner:
         second = runner.submit([spec])[0]
         assert first is second
 
-    def test_run_shim_warns_but_works(self, runner):
-        with pytest.warns(DeprecationWarning, match="RunSpec"):
-            result = runner.run("bodytrack", "proposed")
-        spec = runner.spec_for("bodytrack", "proposed")
-        assert result is runner.submit([spec])[0]
+    def test_run_shim_removed(self, runner):
+        with pytest.raises(RuntimeError, match="RunSpec"):
+            runner.run("bodytrack", "proposed")
 
     def test_baseline_specs_single_module(self, runner):
         dram_run, nvm_run, hybrid = runner.submit([

@@ -143,10 +143,7 @@ class TestRegistry:
         with pytest.raises(ValueError):
             register_policy("proposed", lambda mm: None)
 
-    def test_proposed_with_deprecated_but_works(self):
-        with pytest.warns(DeprecationWarning, match="policy_factory"):
-            factory = proposed_with(MigrationConfig(read_threshold=3,
-                                                    write_threshold=1))
-        policy = factory(MemoryManager(_hybrid_spec()))
-        assert policy.read_threshold == 3
-        assert policy.write_threshold == 1
+    def test_proposed_with_removed(self):
+        with pytest.raises(RuntimeError, match="policy_factory"):
+            proposed_with(MigrationConfig(read_threshold=3,
+                                          write_threshold=1))
