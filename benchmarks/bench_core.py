@@ -18,6 +18,10 @@ Measures the two hot loops this repository spends its CPU time in:
   detached (``events=None``, the default) versus attached with the
   standard sinks.  The events-off number is what the regression gate
   floors: the bus must stay zero-overhead when disabled.
+* **Pipeline phase breakdown** (report-only) — per-phase wall-clock of
+  one representative grid cell: workload render vs cache filter vs
+  simulator replay, so engine-level speedups (analytic, sampled) can
+  be read against the phases they leave untouched.
 
 Timing uses ``time.process_time()`` (container wall clocks jitter by
 2x), garbage collection is disabled around the timed region, and each
@@ -183,6 +187,55 @@ def bench_events(size: dict, reps: int) -> dict:
     return {"workload": "zipf", **size, "results": rows}
 
 
+def bench_pipeline(fast: bool, reps: int) -> dict:
+    """Per-phase wall-clock of the run pipeline, one representative cell.
+
+    Times the three phases an end-to-end run spends its time in —
+    **workload render** (phased trace synthesis + machine sizing),
+    **cache filter** (the CPU front-end's vectorized hierarchy replay
+    over a same-order multicore trace), and **replay** (the simulator
+    consuming the rendered trace) — so engine-level optimisations can
+    be read against the pipeline costs they do *not* remove: a sampled
+    or analytic engine only compresses the replay phase, and this
+    section shows how much of a cell's wall-clock that actually is.
+    Report-only (the regression gate floors the kernels above).
+    """
+    from repro.experiments.runspec import RunSpec
+
+    scale = 0.005 if fast else 0.02
+    spec = RunSpec.core("dedup", "proposed", request_scale=scale)
+    render_seconds = best_of(spec.render, reps)
+    instance = spec.render()
+    replay_seconds = best_of(
+        lambda: spec.execute(instance=instance), reps)
+    filter_requests = len(instance.trace)
+    cpu_trace = synthesize_cpu_trace(requests=filter_requests, seed=9)
+    filter_seconds = best_of(
+        lambda: filter_trace(cpu_trace, cotson_hierarchy(),
+                             vectorized=True), reps)
+    phases = {
+        "workload_render": render_seconds,
+        "cache_filter": filter_seconds,
+        "replay": replay_seconds,
+    }
+    total = sum(phases.values())
+    rows = {
+        name: {"seconds": round(seconds, 4),
+               "share": round(seconds / total, 4)}
+        for name, seconds in phases.items()
+    }
+    for name, row in rows.items():
+        print(f"  phase {name:16s} {row['seconds'] * 1e3:8.1f} ms "
+              f"({row['share']:.0%})")
+    return {
+        "workload": "dedup",
+        "policy": "proposed",
+        "request_scale": scale,
+        "requests": int(len(instance.trace)),
+        "phases": rows,
+    }
+
+
 # ----------------------------------------------------------------------
 # Regression gate
 # ----------------------------------------------------------------------
@@ -258,6 +311,8 @@ def main() -> int:
     filters = bench_filter(args.fast, args.reps)
     print("observability overhead:")
     events = bench_events(size, args.reps)
+    print("pipeline phase breakdown:")
+    pipeline = bench_pipeline(args.fast, args.reps)
 
     payload = {
         "benchmark": "core-kernel-throughput",
@@ -268,6 +323,7 @@ def main() -> int:
         "policies": policies,
         "filter": filters,
         "events": events,
+        "pipeline": pipeline,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)

@@ -54,10 +54,21 @@ COLD_MARKER = "repro: cold"
 #: run once per trace record before the simulator ever sees a request.
 HOT_KERNEL_FUNCTIONS = frozenset({"filter_trace", "filter_trace_vectorized"})
 
+#: Sampling filter kernels that are hot by definition: membership
+#: selection and trace subsetting touch every record of the *full*
+#: trace before the sampled engine replays the 1-in-K subset, so they
+#: bound the engine's achievable speedup.
+HOT_SAMPLING_FUNCTIONS = frozenset({
+    "sample_mask", "page_membership", "subset_trace", "assign_groups",
+    "frequency_ranks",
+})
+
 #: Per-class drive-loop methods that are hot by definition: the
-#: simulator replay loops dispatch every request of a run.
+#: simulator replay loops dispatch every request of a run, and the
+#: sampled engine's membership draws run once per replicate.
 HOT_DRIVE_METHODS: dict[str, tuple[str, ...]] = {
     "HybridMemorySimulator": ("_replay", "_replay_chunked"),
+    "_Membership": ("draw", "replicate_draws"),
 }
 
 #: Default bound on the reachability closure depth.
@@ -662,11 +673,12 @@ class CallGraph:
     def hot_seeds(self, policy_classes: Sequence[str]) -> dict[str, str]:
         """Hot entry points for the perf tier: qname -> why it is hot.
 
-        Three families: policy ``access``/``access_batch`` kernels (one
+        Four families: policy ``access``/``access_batch`` kernels (one
         body per request or per batch), the trace-filter kernels
-        (:data:`HOT_KERNEL_FUNCTIONS`), and the simulator drive loops
-        (:data:`HOT_DRIVE_METHODS`).  Everything reachable from these
-        inherits hotness via :meth:`reachable`.
+        (:data:`HOT_KERNEL_FUNCTIONS`), the sampling filter kernels
+        (:data:`HOT_SAMPLING_FUNCTIONS`), and the simulator/sampler
+        drive loops (:data:`HOT_DRIVE_METHODS`).  Everything reachable
+        from these inherits hotness via :meth:`reachable`.
         """
         seeds: dict[str, str] = {}
         for cls_name in policy_classes:
@@ -682,6 +694,10 @@ class CallGraph:
             for qname in self.by_func_name.get(name, []):
                 seeds.setdefault(
                     qname, "trace-filter kernel runs once per trace record")
+        for name in sorted(HOT_SAMPLING_FUNCTIONS):
+            for qname in self.by_func_name.get(name, []):
+                seeds.setdefault(
+                    qname, "sampling filter kernel touches every trace record")
         for cls_name, methods_wanted in HOT_DRIVE_METHODS.items():
             methods = self.class_methods.get(cls_name, {})
             for method in methods_wanted:

@@ -25,6 +25,10 @@ Groups
 * **Analytic engine** — the closed-form estimator behind
   ``RunSpec(engine="analytic")``: workload profiling, the Che/Markov
   building blocks and the per-policy estimators.
+* **Sampled engine** — the SHARDS-style spatial page sampler behind
+  ``RunSpec(engine="sampled")``: the sampling configuration, the
+  summary/interval types that ride on :class:`RunResult`, and the
+  trace-level membership primitives.
 * **Observability** — typed event streams: config, bus, sinks and the
   serialisable summaries that ride on :class:`RunResult`.
 """
@@ -99,6 +103,15 @@ from repro.model import (
     promotion_probability,
     supports_policy,
     survival_probability,
+)
+
+# --- Sampled engine --------------------------------------------------
+from repro.sampling import MetricInterval, SamplingConfig, SamplingSummary
+from repro.trace.sampling import (
+    SAMPLING_SCHEMES,
+    assign_groups,
+    sample_mask,
+    subset_trace,
 )
 
 # --- Observability ---------------------------------------------------
@@ -193,6 +206,14 @@ __all__ = [
     "promotion_probability",
     "supports_policy",
     "survival_probability",
+    # sampled engine
+    "MetricInterval",
+    "SAMPLING_SCHEMES",
+    "SamplingConfig",
+    "SamplingSummary",
+    "assign_groups",
+    "sample_mask",
+    "subset_trace",
     # observability
     "BeneficialMigrationClassifier",
     "BufferSink",

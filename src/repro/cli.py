@@ -74,6 +74,7 @@ from repro.mmu.simulator import RunResult, simulate
 from repro.obs.config import EventConfig
 from repro.obs.summary import EventSummary
 from repro.policies.registry import available_policies, policy_factory
+from repro.sampling import SamplingConfig
 from repro.trace.io import load_trace, read_text_trace
 from repro.trace.stats import characterize
 from repro.trace.trace import Trace
@@ -218,20 +219,33 @@ def _event_config(args) -> EventConfig | None:
 
 
 def _engine_conflict(args) -> bool:
-    """Report (to stderr) the one invalid grid-flag combination.
+    """Report (to stderr) the invalid grid-flag combinations.
 
-    The analytic engine evaluates closed forms — there is no replay to
-    observe, so ``--events`` has nothing to collect.  Catching it here
-    gives a usage error instead of the ``RunSpec`` constructor's
-    ``ValueError`` traceback.
+    Only the simulator replays the trace, so ``--events`` has nothing
+    to collect under the analytic or sampled engines; and
+    ``--sample-rate`` only means something to the sampled engine.
+    Catching both here gives a usage error instead of the ``RunSpec``
+    constructor's ``ValueError`` traceback.
     """
-    if getattr(args, "engine", "simulate") != "analytic":
-        return False
-    if not getattr(args, "events", None):
-        return False
-    print("--engine analytic cannot collect event streams; drop "
-          "--events or use --engine simulate", file=sys.stderr)
-    return True
+    engine = getattr(args, "engine", "simulate")
+    if engine != "simulate" and getattr(args, "events", None):
+        print(f"--engine {engine} cannot collect event streams; drop "
+              "--events or use --engine simulate", file=sys.stderr)
+        return True
+    if getattr(args, "sample_rate", None) is not None and engine != "sampled":
+        print(f"--sample-rate requires --engine sampled (got --engine "
+              f"{engine})", file=sys.stderr)
+        return True
+    return False
+
+
+def _sampling_config(args) -> SamplingConfig | None:
+    """The sampling configuration the ``--sample-rate`` flag implies
+    (``None`` leaves the sampled engine on its defaults)."""
+    rate = getattr(args, "sample_rate", None)
+    if rate is None:
+        return None
+    return SamplingConfig(rate=rate)
 
 
 def _write_event_traces(
@@ -277,7 +291,8 @@ def _cmd_run(args) -> int:
     policies = args.policy or list(CORE_POLICIES)
     specs = [
         RunSpec.core(workload, policy, seed=args.seed,
-                     events=_event_config(args), engine=args.engine)
+                     events=_event_config(args), engine=args.engine,
+                     sampling=_sampling_config(args))
         for workload in workloads
         for policy in policies
     ]
@@ -315,7 +330,8 @@ def _cmd_figure(args) -> int:
         return 2
     runner = ExperimentRunner(seed=args.seed, executor=_executor_from(args),
                               events=_event_config(args),
-                              engine=args.engine)
+                              engine=args.engine,
+                              sampling=_sampling_config(args))
     if args.id == "all":
         ids: Sequence[str] = sorted(FIGURE_BUILDERS)
     elif args.id in FIGURE_BUILDERS:
@@ -366,7 +382,8 @@ def _cmd_claims(args) -> int:
         return 2
     runner = ExperimentRunner(seed=args.seed, executor=_executor_from(args),
                               events=_event_config(args),
-                              engine=args.engine)
+                              engine=args.engine,
+                              sampling=_sampling_config(args))
     results = verify_claims(runner)
     print(render_table(
         ["id", "ok", "claim", "paper", "measured"],
@@ -404,7 +421,8 @@ def _cmd_profile(args) -> int:
     if args.sanitize:
         os.environ[SANITIZE_ENV] = "1"
     spec = RunSpec.core(args.workload, args.policy, seed=args.seed,
-                        events=_event_config(args), engine=args.engine)
+                        events=_event_config(args), engine=args.engine,
+                        sampling=_sampling_config(args))
     # Render outside the profiled region: trace synthesis is numpy-bound
     # and would drown out the simulation kernel we care about.
     instance = spec.render()
@@ -427,18 +445,19 @@ def _cmd_sweep(args) -> int:
         return 2
     executor = _executor_from(args)
     events = _event_config(args)
+    sampling = _sampling_config(args)
     if args.kind == "threshold":
         points = threshold_sweep(args.workload, seed=args.seed,
                                  executor=executor, events=events,
-                                 engine=args.engine)
+                                 engine=args.engine, sampling=sampling)
     elif args.kind == "window":
         points = window_sweep(args.workload, seed=args.seed,
                               executor=executor, events=events,
-                              engine=args.engine)
+                              engine=args.engine, sampling=sampling)
     else:
         points = dram_ratio_sweep(args.workload, seed=args.seed,
                                   executor=executor, events=events,
-                                  engine=args.engine)
+                                  engine=args.engine, sampling=sampling)
     print(render_table(
         [points[0].parameter, "memory time (ns)", "APPR (nJ)",
          "promotions", "demotions", "NVM writes"],
@@ -498,9 +517,10 @@ def _reconstruct(result: RunResult) -> tuple[bool, str]:
 
 
 def _cmd_events(args) -> int:
-    if args.engine == "analytic":
+    if args.engine != "simulate":
         print("the events report replays the simulator; --engine "
-              "analytic has no event stream to observe", file=sys.stderr)
+              f"{args.engine} has no event stream to observe",
+              file=sys.stderr)
         return 2
     executor = _executor_from(args)
     policies = args.policy or ["clock-dwf", "proposed"]
@@ -616,7 +636,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=list(ENGINES), default="simulate",
         help="execution engine: 'simulate' replays the trace through "
              "the event-driven simulator, 'analytic' evaluates the "
-             "closed-form model (repro.model) instead")
+             "closed-form model (repro.model), 'sampled' replays a "
+             "1-in-K page sample and scales the metrics back up "
+             "(repro.sampling)")
+    grid.add_argument(
+        "--sample-rate", type=int, default=None, metavar="K",
+        help="sample 1 page in K under --engine sampled (default: "
+             "the engine's built-in rate)")
 
     p = sub.add_parser(
         "run", parents=[grid],

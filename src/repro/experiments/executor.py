@@ -43,7 +43,7 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: of them invalidates every cached result.
 _VERSIONED_SUBPACKAGES = (
     "trace", "workloads", "memory", "mmu", "core", "policies", "obs",
-    "model",
+    "model", "sampling",
 )
 _VERSIONED_MODULES = ("experiments/runspec.py",)
 

@@ -21,6 +21,7 @@ from repro.experiments.results import WorkloadRuns
 from repro.experiments.runspec import RunSpec
 from repro.mmu.simulator import RunResult
 from repro.obs.config import EventConfig
+from repro.sampling import SamplingConfig
 from repro.workloads.parsec import (
     DEFAULT_FOOTPRINT_SCALE,
     DEFAULT_REQUEST_SCALE,
@@ -53,8 +54,12 @@ class ExperimentRunner:
         runner builds (``None`` keeps the observability bus detached).
     engine:
         Execution engine stamped on every spec the runner builds:
-        ``"simulate"`` (default) or ``"analytic"``
+        ``"simulate"`` (default), ``"analytic"`` or ``"sampled"``
         (:data:`repro.experiments.runspec.ENGINES`).
+    sampling:
+        Sampling configuration stamped on every spec when ``engine``
+        is ``"sampled"`` (``None`` means the engine default,
+        :class:`~repro.sampling.SamplingConfig`).
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class ExperimentRunner:
         executor: ParallelExecutor | None = None,
         events: EventConfig | None = None,
         engine: str = "simulate",
+        sampling: SamplingConfig | None = None,
     ) -> None:
         self.request_scale = request_scale
         self.footprint_scale = footprint_scale
@@ -75,6 +81,7 @@ class ExperimentRunner:
         self.workload_names = workloads
         self.events = events
         self.engine = engine
+        self.sampling = sampling
         self.executor = executor or ParallelExecutor(jobs=jobs, cache=cache)
         self._instances: dict[str, WorkloadInstance] = {}
         self._runs: dict[RunSpec, RunResult] = {}
@@ -107,6 +114,7 @@ class ExperimentRunner:
             seed=self.seed,
             events=self.events,
             engine=self.engine,
+            sampling=self.sampling,
         )
 
     def submit(self, specs: list[RunSpec]) -> list[RunResult]:

@@ -28,6 +28,7 @@ from repro.memory.specs import HybridMemorySpec
 from repro.mmu.simulator import HybridMemorySimulator, PolicyFactory, RunResult
 from repro.obs.config import EventConfig
 from repro.policies.registry import policy_factory
+from repro.sampling.config import SamplingConfig
 from repro.workloads.parsec import (
     DEFAULT_FOOTPRINT_SCALE,
     DEFAULT_REQUEST_SCALE,
@@ -76,8 +77,11 @@ Overrides = tuple[tuple[str, Any], ...]
 
 #: Execution engines a spec can name.  ``simulate`` replays the trace
 #: through :class:`HybridMemorySimulator`; ``analytic`` evaluates the
-#: Markov-chain estimator (:mod:`repro.model`) on the workload profile.
-ENGINES = ("simulate", "analytic")
+#: Markov-chain estimator (:mod:`repro.model`) on the workload profile;
+#: ``sampled`` replays a deterministic 1-in-K spatial page sample at a
+#: scaled frame budget and scales the counters back up with confidence
+#: intervals (:mod:`repro.sampling`).
+ENGINES = ("simulate", "analytic", "sampled")
 
 
 @dataclass(frozen=True)
@@ -113,10 +117,19 @@ class RunSpec:
     engine:
         Execution engine (:data:`ENGINES`).  ``"simulate"`` (default)
         replays the trace; ``"analytic"`` evaluates the closed-form
-        estimator in :mod:`repro.model`.  Part of the spec's identity —
-        analytic results get their own digests and cache entries —
-        but the default keeps pre-engine digests unchanged, so warm
-        caches survive.  Analytic runs carry no event stream.
+        estimator in :mod:`repro.model`; ``"sampled"`` replays a
+        spatial page sample (:mod:`repro.sampling`).  Part of the
+        spec's identity — analytic and sampled results get their own
+        digests and cache entries — but the default keeps pre-engine
+        digests unchanged, so warm caches survive.  Neither fast
+        engine carries an event stream.
+    sampling:
+        Sampling configuration (:class:`repro.sampling.SamplingConfig`),
+        only meaningful — and always present, defaulting to
+        ``SamplingConfig()`` — with ``engine="sampled"``.  A mapping is
+        normalised to a ``SamplingConfig``.  Part of the spec's
+        identity; ``None`` on non-sampled specs keeps their
+        pre-sampling digests unchanged.
     """
 
     workload: str
@@ -129,22 +142,37 @@ class RunSpec:
     warmup_fraction: float | None = None
     events: EventConfig | None = None
     engine: str = "simulate"
+    sampling: SamplingConfig | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             known = ", ".join(ENGINES)
             raise ValueError(
                 f"unknown engine {self.engine!r}; known: {known}")
-        if self.engine == "analytic" and self.events is not None:
+        if self.engine != "simulate" and self.events is not None:
             raise ValueError(
-                "engine=\"analytic\" estimates aggregate counters and "
-                "produces no event stream; drop events= or use "
+                f"engine=\"{self.engine}\" estimates aggregate counters "
+                "and produces no event stream; drop events= or use "
                 "engine=\"simulate\"")
         if self.events is not None and not isinstance(self.events,
                                                       EventConfig):
             object.__setattr__(
                 self, "events", EventConfig.from_dict(self.events)
             )
+        if self.sampling is not None:
+            if self.engine != "sampled":
+                raise ValueError(
+                    "sampling= is only meaningful with "
+                    "engine=\"sampled\"; drop it or switch engines")
+            if not isinstance(self.sampling, SamplingConfig):
+                object.__setattr__(
+                    self, "sampling", SamplingConfig.from_dict(self.sampling)
+                )
+        elif self.engine == "sampled":
+            # Sampled specs always carry an explicit config, so equal
+            # configurations digest equally (None vs default would
+            # otherwise split the cache).
+            object.__setattr__(self, "sampling", SamplingConfig())
         overrides = self.policy_overrides
         if isinstance(overrides, Mapping):
             pairs = tuple(sorted(overrides.items()))
@@ -192,6 +220,7 @@ class RunSpec:
             -1.0 if self.warmup_fraction is None else self.warmup_fraction,
             repr(self.events),
             self.engine,
+            repr(self.sampling),
         )
 
     def to_dict(self) -> dict:
@@ -209,11 +238,16 @@ class RunSpec:
                 self.events.to_dict() if self.events is not None else None
             ),
             "engine": self.engine,
+            "sampling": (
+                self.sampling.to_dict() if self.sampling is not None
+                else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunSpec":
         events = data.get("events")
+        sampling = data.get("sampling")
         return cls(
             workload=data["workload"],
             policy=data["policy"],
@@ -230,6 +264,10 @@ class RunSpec:
                 else None
             ),
             engine=data.get("engine", "simulate"),
+            sampling=(
+                SamplingConfig.from_dict(sampling) if sampling is not None
+                else None
+            ),
         )
 
     def digest(self) -> str:
@@ -241,6 +279,10 @@ class RunSpec:
             # default-engine specs keep their pre-engine digests so
             # existing warm caches stay valid.
             del data["engine"]
+        if data["sampling"] is None:
+            # Same elision for the sampling config: only sampled specs
+            # (which always carry one) spend a digest key on it.
+            del data["sampling"]
         canonical = json.dumps(data, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
@@ -248,7 +290,9 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable form for progress reporting."""
         parts = [self.workload, self.policy]
-        if self.engine != "simulate":
+        if self.engine == "sampled" and self.sampling is not None:
+            parts.append(f"sampled@1/{self.sampling.rate}")
+        elif self.engine != "simulate":
             parts.append(self.engine)
         if self.spec_transform:
             parts.append("/".join(str(p) for p in self.spec_transform))
@@ -306,6 +350,10 @@ class RunSpec:
             from repro.model.estimator import estimate_spec
 
             return estimate_spec(self, instance=instance)
+        if self.engine == "sampled":
+            from repro.sampling.engine import sample_spec
+
+            return sample_spec(self, instance=instance, factory=factory)
         if instance is None:
             instance = self.render()
         simulator = HybridMemorySimulator(

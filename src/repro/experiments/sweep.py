@@ -23,6 +23,7 @@ from repro.experiments.executor import ParallelExecutor
 from repro.experiments.runspec import RunSpec
 from repro.mmu.simulator import RunResult
 from repro.obs.config import EventConfig
+from repro.sampling import SamplingConfig
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,7 @@ def threshold_sweep(
     executor: ParallelExecutor | None = None,
     events: EventConfig | None = None,
     engine: str = "simulate",
+    sampling: SamplingConfig | None = None,
 ) -> list[SweepPoint]:
     """Sweep both promotion thresholds together (A-1).
 
@@ -73,7 +75,9 @@ def threshold_sweep(
     the scheme's write-priority rule.  ``events`` attaches the
     observability bus to every point (callers read the per-spec
     summaries back off the executor).  ``engine="analytic"`` evaluates
-    the closed-form estimator instead of simulating each point.
+    the closed-form estimator instead of simulating each point;
+    ``engine="sampled"`` replays a spatial page sample per point
+    (``sampling`` tunes it).
     """
     base = base_config or MigrationConfig()
     specs = [
@@ -83,6 +87,7 @@ def threshold_sweep(
             seed=seed,
             events=events,
             engine=engine,
+            sampling=sampling,
             policy_overrides={
                 "read_window_fraction": base.read_window_fraction,
                 "write_window_fraction": base.write_window_fraction,
@@ -105,6 +110,7 @@ def window_sweep(
     executor: ParallelExecutor | None = None,
     events: EventConfig | None = None,
     engine: str = "simulate",
+    sampling: SamplingConfig | None = None,
 ) -> list[SweepPoint]:
     """Sweep the counter-window size (A-2); the write window tracks at
     1.5x the read window, capped at the whole queue."""
@@ -116,6 +122,7 @@ def window_sweep(
             seed=seed,
             events=events,
             engine=engine,
+            sampling=sampling,
             policy_overrides={
                 "read_window_fraction": fraction,
                 "write_window_fraction": min(1.0, fraction * 1.5),
@@ -138,6 +145,7 @@ def dram_ratio_sweep(
     executor: ParallelExecutor | None = None,
     events: EventConfig | None = None,
     engine: str = "simulate",
+    sampling: SamplingConfig | None = None,
 ) -> list[SweepPoint]:
     """Sweep DRAM's share of the hybrid memory (A-3)."""
     specs = [
@@ -147,6 +155,7 @@ def dram_ratio_sweep(
             seed=seed,
             events=events,
             engine=engine,
+            sampling=sampling,
             spec_transform=("dram-fraction", ratio),
         )
         for ratio in ratios

@@ -170,6 +170,31 @@ class HybridMemorySpec:
         """Same total capacity, all frames NVM (Fig. 2c/4b baseline)."""
         return replace(self, dram_pages=0, nvm_pages=self.total_pages)
 
+    def sampled(self, rate: float) -> "HybridMemorySpec":
+        """Frame budget for a 1-in-``rate`` spatial page sample.
+
+        Both modules shrink proportionally (floored at one frame when
+        the module exists at all, so the DRAM/NVM structure survives),
+        keeping frames-per-sampled-page — the pressure every policy
+        responds to — matched to the full configuration.  ``rate`` may
+        be fractional: the sampled engine passes the *measured* page
+        ratio (total pages / pages actually drawn), the SHARDS-adj
+        correction that stops hash noise in the sample size from
+        skewing the capacity ratio.  ``rate == 1`` returns ``self``
+        unchanged (the sampled engine's identity path).
+        """
+        if rate < 1:
+            raise ValueError("sampling rate must be >= 1")
+        if rate == 1:
+            return self
+        dram_pages = (
+            max(1, round(self.dram_pages / rate)) if self.dram_pages else 0
+        )
+        nvm_pages = (
+            max(1, round(self.nvm_pages / rate)) if self.nvm_pages else 0
+        )
+        return replace(self, dram_pages=dram_pages, nvm_pages=nvm_pages)
+
     # ------------------------------------------------------------------
     # Serialisation (result cache / pool transport)
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.obs.sinks import (
     IntervalAggregator,
 )
 from repro.obs.summary import EventSummary
+from repro.sampling.summary import SamplingSummary
 from repro.trace.trace import Trace
 
 if TYPE_CHECKING:  # avoid a package-level cycle with repro.policies
@@ -58,6 +59,9 @@ class RunResult:
     #: Distilled event stream; only present when the run was driven
     #: with ``events=EventConfig(...)``.
     events: EventSummary | None = None
+    #: Sample provenance and confidence intervals; only present when
+    #: the run came from ``engine="sampled"`` (:mod:`repro.sampling`).
+    sampling: SamplingSummary | None = None
 
     @property
     def amat(self) -> float:
@@ -92,11 +96,16 @@ class RunResult:
             "events": (
                 self.events.to_dict() if self.events is not None else None
             ),
+            "sampling": (
+                self.sampling.to_dict() if self.sampling is not None
+                else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
         events = data.get("events")
+        sampling = data.get("sampling")
         return cls(
             workload=data["workload"],
             policy=data["policy"],
@@ -109,6 +118,10 @@ class RunResult:
             endurance=EnduranceReport.from_dict(data["endurance"]),
             events=(
                 EventSummary.from_dict(events) if events is not None
+                else None
+            ),
+            sampling=(
+                SamplingSummary.from_dict(sampling) if sampling is not None
                 else None
             ),
         )
@@ -193,7 +206,8 @@ class HybridMemorySimulator:
         self.events = events
         self._event_summary: EventSummary | None = None
 
-    def run(self, trace: Trace, warmup_fraction: float = 0.0) -> RunResult:
+    def run(self, trace: Trace, warmup_fraction: float = 0.0,
+            warmup_requests: int | None = None) -> RunResult:
         """Simulate the trace and evaluate the models.
 
         ``warmup_fraction`` of the trace is replayed first to populate
@@ -202,13 +216,25 @@ class HybridMemorySimulator:
         measurement).  The event bus, when configured, observes only
         the measured region: it is attached after the warm-up reset,
         so event indexes are 1-based measured-request ordinals.
+
+        ``warmup_requests`` overrides the boundary with an explicit
+        request count.  The sampled engine uses this to keep warm-up
+        fidelity: its boundary is computed on the *full* trace and
+        mapped into the sample, which a fraction of the (shorter)
+        sampled trace could not express exactly.
         """
-        if not 0.0 <= warmup_fraction < 1.0:
-            raise ValueError("warmup_fraction must be in [0, 1)")
-        boundary = (
-            int(len(trace) * warmup_fraction)
-            if warmup_fraction > 0.0 else 0
-        )
+        if warmup_requests is not None:
+            if not 0 <= warmup_requests <= len(trace):
+                raise ValueError(
+                    "warmup_requests must be within the trace length")
+            boundary = warmup_requests
+        else:
+            if not 0.0 <= warmup_fraction < 1.0:
+                raise ValueError("warmup_fraction must be in [0, 1)")
+            boundary = (
+                int(len(trace) * warmup_fraction)
+                if warmup_fraction > 0.0 else 0
+            )
         self._event_summary = None
         if boundary:
             self._replay(trace[:boundary])
@@ -360,6 +386,7 @@ def simulate(
     validate_every: int = 0,
     inter_request_gap: float = 0.0,
     warmup_fraction: float = 0.0,
+    warmup_requests: int | None = None,
     sanitize: bool | None = None,
     batch: bool = True,
     events: EventConfig | EventBus | None = None,
@@ -374,4 +401,5 @@ def simulate(
         batch=batch,
         events=events,
     )
-    return simulator.run(trace, warmup_fraction=warmup_fraction)
+    return simulator.run(trace, warmup_fraction=warmup_fraction,
+                         warmup_requests=warmup_requests)

@@ -11,6 +11,7 @@ of configurations per second from one workload profile.
 from repro.model.estimator import (
     ANALYTIC_POLICIES,
     UnsupportedPolicyError,
+    analytic_reference,
     estimate_run,
     estimate_spec,
     supports_policy,
@@ -26,6 +27,7 @@ __all__ = [
     "ANALYTIC_POLICIES",
     "UnsupportedPolicyError",
     "WorkloadProfile",
+    "analytic_reference",
     "characteristic_time",
     "estimate_run",
     "estimate_spec",

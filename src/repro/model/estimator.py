@@ -47,6 +47,7 @@ workload's profile is built.
 from __future__ import annotations
 
 from dataclasses import fields as _dataclass_fields
+from dataclasses import replace as _replace
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
@@ -72,6 +73,7 @@ if TYPE_CHECKING:
 __all__ = [
     "ANALYTIC_POLICIES",
     "UnsupportedPolicyError",
+    "analytic_reference",
     "estimate_run",
     "estimate_spec",
     "supports_policy",
@@ -711,3 +713,24 @@ def estimate_spec(spec: "RunSpec", instance=None) -> RunResult:
         inter_request_gap=instance.inter_request_gap,
         workload=spec.workload,
     )
+
+
+def analytic_reference(spec: "RunSpec") -> "RunSpec":
+    """The analytic twin of ``spec``: same workload/policy/machine,
+    ``engine="analytic"``.
+
+    Cross-engine comparisons (accuracy benchmarks, sampled-engine
+    error triangulation) want the closed-form estimate for exactly the
+    cell a simulated or sampled spec describes.  Engine-specific
+    fields that the analytic engine rejects (``events``, ``sampling``)
+    are dropped in the same stroke.
+
+    Raises :class:`UnsupportedPolicyError` when the spec's policy has
+    no closed form (``ANALYTIC_POLICIES``).
+    """
+    if not supports_policy(spec.policy):
+        raise UnsupportedPolicyError(
+            f"no analytic reference for policy {spec.policy!r}; "
+            f"supported: {', '.join(ANALYTIC_POLICIES)}"
+        )
+    return _replace(spec, engine="analytic", events=None, sampling=None)

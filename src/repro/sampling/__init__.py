@@ -1,0 +1,20 @@
+"""Sampled simulation: SHARDS-style spatial page sampling (DESIGN §15).
+
+Public surface:
+
+* :class:`SamplingConfig` — frozen per-spec configuration
+  (``RunSpec(engine="sampled", sampling=SamplingConfig(...))``).
+* :class:`SamplingSummary` / :class:`MetricInterval` — what a sampled
+  run reports about its own sample and uncertainty (rides on
+  :class:`~repro.mmu.simulator.RunResult`).
+
+The engine itself (:func:`repro.sampling.engine.sample_spec`) is
+imported lazily by ``RunSpec.execute`` — it depends on the simulator,
+which in turn loads this package for the summary type, so eagerly
+importing it here would cycle.
+"""
+
+from repro.sampling.config import SamplingConfig
+from repro.sampling.summary import MetricInterval, SamplingSummary
+
+__all__ = ["MetricInterval", "SamplingConfig", "SamplingSummary"]

@@ -1,0 +1,506 @@
+"""The sampled execution engine: ``RunSpec(engine="sampled")``.
+
+SHARDS-style spatial sampling for the hybrid-memory simulator: pick a
+deterministic 1-in-K subset of *pages* (:mod:`repro.trace.sampling` —
+frequency-stratified systematic selection by default, pure hash
+membership as the online-capable variant), replay only their requests
+against a proportionally scaled frame budget
+(:meth:`HybridMemorySpec.sampled`), then scale the measured counters
+back up and score them against the *full* machine through the
+identical Eq. 1-3 model layer the exact simulator and the analytic
+engine use.
+
+Why this is faithful: spatial membership keeps every access of a
+sampled page, so per-page reuse behaviour — the counter dynamics the
+migration policies key on — is preserved exactly; only the page
+population shrinks, and the frame budget shrinks with it, so queue
+*pressure* (frames per hot page) matches the full configuration.  Every
+policy whose decisions derive from per-page state (all registered ones:
+their ``sampling_safe`` audit flag rides on
+:class:`~repro.policies.base.HybridMemoryPolicy`) therefore sees a
+statistically equivalent workload.
+
+Scale-up (:func:`scale_accounting`) keys each counter family to how it
+is best known: fault/migration/eviction flows scale by the measured
+page ratio, per-direction request totals are taken *exactly* from the
+full trace (they are a vectorized count, not something to estimate),
+and hits are the exact residual split by the sampled DRAM/NVM
+proportions.  At rate 1 every input matches and the engine is
+bit-identical to ``engine="simulate"`` (pinned by
+``tests/test_sampling.py``).
+
+Uncertainty comes from stratified page-group replicates: a secondary
+hash splits the sampled pages into ``groups`` disjoint sub-samples,
+each simulated at rate ``K * groups``; the spread of their scaled
+metrics gives a standard error and a normal confidence interval per
+metric.  The replicates together replay roughly as many requests as
+the main sample, so intervals cost about one extra 1/K pass.
+
+The warm-up boundary is computed on the *full* trace and mapped into
+the sample (``warmup_requests``), so sampled runs warm up over exactly
+the requests the full run would.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.memory.accounting import AccessAccounting, WearAccounting
+from repro.memory.endurance import compute_nvm_writes, endurance_report
+from repro.memory.metrics import compute_performance
+from repro.memory.power import compute_power
+from repro.memory.specs import HybridMemorySpec
+from repro.mmu.simulator import PolicyFactory, RunResult, simulate
+from repro.sampling.config import SamplingConfig
+from repro.sampling.summary import MetricInterval, SamplingSummary
+from repro.trace.sampling import (
+    assign_groups,
+    page_groups,
+    page_membership,
+    sample_mask,
+    subset_trace,
+)
+from repro.trace.trace import Trace
+from repro.workloads.parsec import WorkloadInstance
+
+if TYPE_CHECKING:
+    from repro.experiments.runspec import RunSpec
+
+__all__ = ["SamplingError", "sample_spec", "scale_accounting"]
+
+#: Metrics the confidence intervals cover (flat-summary key -> label).
+_INTERVAL_METRICS = ("amat", "appr", "nvm_writes")
+
+
+class SamplingError(ValueError):
+    """The spec cannot be evaluated under its sampling configuration."""
+
+
+# ---------------------------------------------------------------------------
+# Scale-up
+# ---------------------------------------------------------------------------
+def scale_accounting(
+    accounting: AccessAccounting,
+    wear: WearAccounting,
+    page_multiplier: float,
+    measured_reads: int,
+    measured_writes: int,
+    dram_share: float = 0.5,
+) -> tuple[AccessAccounting, WearAccounting]:
+    """Scale sampled counters up, preserving the bookkeeping identities
+    :meth:`AccessAccounting.validate` enforces.
+
+    The estimator combines three sources by how each is best known:
+
+    * **Faults, migrations and evictions** are page-population events:
+      a cold fault happens once per page, capacity misses live in the
+      flat tail whose request mass tracks the page count, and the
+      migration/eviction flows are driven by the fault flow.  They
+      scale by the measured distinct-page ratio (``page_multiplier``).
+    * **Request totals** per direction are *known exactly* — the full
+      trace is in memory, counting its writes is a vectorized O(n) —
+      so ``measured_reads``/``measured_writes`` are used verbatim, and
+      hits are the residual ``measured - scaled faults``.  (Scaling
+      hits by a sampled-request ratio instead couples the request
+      total to the hash draw's request mass, which on zipf-like traces
+      has enormous variance: one missed hot page can halve it.)
+    * **Hit composition** (DRAM vs NVM per direction) is the one thing
+      only the replay knows; the sampled proportions split the exact
+      residuals.  Composition multiplies nanosecond-scale hit
+      latencies, so its sampling noise is second-order in AMAT/APPR.
+
+    When ``page_multiplier`` is ``1.0`` and the measured totals match
+    the accounting's (the K=1 identity path), the inputs are returned
+    unchanged.
+
+    The wear histogram is deliberately *not* scaled: a sampled page's
+    write count is its true write count, so per-page wear statistics
+    (``max_page_writes``, the lifetime bound) stay in real units while
+    the per-source write-volume totals scale with the sample —
+    fill/migration wear by the page ratio, request wear with the NVM
+    write-hit estimate it is proportional to.
+    """
+    if (
+        page_multiplier == 1.0
+        and measured_reads == accounting.read_requests
+        and measured_writes == accounting.write_requests
+    ):
+        return accounting, wear
+    if page_multiplier <= 0.0:
+        raise ValueError("scale-up multiplier must be positive")
+    if measured_reads < 0 or measured_writes < 0:
+        raise ValueError("measured request totals must be non-negative")
+
+    def by_pages(count: int) -> int:
+        return max(0, round(count * page_multiplier))
+
+    def split(total: int, dram_part: int, nvm_part: int) -> tuple[int, int]:
+        """Split an exact hit total by the sampled tier proportion."""
+        denom = dram_part + nvm_part
+        all_hits = accounting.dram_hits + accounting.nvm_hits
+        if denom:
+            proportion = dram_part / denom
+        elif all_hits:
+            proportion = accounting.dram_hits / all_hits
+        else:
+            proportion = dram_share
+        dram = min(total, round(total * proportion))
+        return dram, total - dram
+
+    read_faults = min(by_pages(accounting.read_faults), measured_reads)
+    write_faults = min(by_pages(accounting.write_faults), measured_writes)
+    faults = read_faults + write_faults
+    faults_filled_dram = min(by_pages(accounting.faults_filled_dram), faults)
+    dram_read_hits, nvm_read_hits = split(
+        measured_reads - read_faults,
+        accounting.dram_read_hits, accounting.nvm_read_hits,
+    )
+    dram_write_hits, nvm_write_hits = split(
+        measured_writes - write_faults,
+        accounting.dram_write_hits, accounting.nvm_write_hits,
+    )
+    scaled_accounting = AccessAccounting(
+        read_requests=measured_reads,
+        write_requests=measured_writes,
+        dram_read_hits=dram_read_hits,
+        dram_write_hits=dram_write_hits,
+        nvm_read_hits=nvm_read_hits,
+        nvm_write_hits=nvm_write_hits,
+        read_faults=read_faults,
+        write_faults=write_faults,
+        faults_filled_dram=faults_filled_dram,
+        faults_filled_nvm=faults - faults_filled_dram,
+        migrations_to_dram=by_pages(accounting.migrations_to_dram),
+        migrations_to_nvm=by_pages(accounting.migrations_to_nvm),
+        clean_evictions=by_pages(accounting.clean_evictions),
+        dirty_evictions=by_pages(accounting.dirty_evictions),
+    )
+    scaled_accounting.validate()
+    request_wear_factor = (
+        nvm_write_hits / accounting.nvm_write_hits
+        if accounting.nvm_write_hits
+        else page_multiplier
+    )
+    scaled_wear = WearAccounting(
+        page_factor=wear.page_factor,
+        fault_fill_writes=by_pages(wear.fault_fill_writes),
+        migration_writes=by_pages(wear.migration_writes),
+        request_writes=max(0, round(wear.request_writes * request_wear_factor)),
+        page_writes=dict(wear.page_writes),
+    )
+    return scaled_accounting, scaled_wear
+
+
+# ---------------------------------------------------------------------------
+# One sampled replay
+# ---------------------------------------------------------------------------
+class _Membership:
+    """Per-unique-page sampling machinery, computed once per spec.
+
+    One ``np.unique(return_inverse=True)`` pass gives the sorted page
+    population, per-page request counts and the page index of every
+    request; membership and replicate-group decisions then run over
+    the (small) unique-page array and broadcast back through the
+    inverse, so redrawing at an escalated rate costs O(pages), not
+    another O(requests log requests) pass.  The ``temporal`` scheme
+    decides per *request* and keeps the slower request-level path.
+    """
+
+    def __init__(self, trace: Trace, scheme: str, salt: int) -> None:
+        self.trace = trace
+        self.scheme = scheme
+        self.salt = salt
+        if scheme == "temporal":
+            self.pages = np.unique(trace.pages)
+            self.counts = self.inverse = None
+        else:
+            self.pages, self.inverse, self.counts = np.unique(
+                trace.pages, return_inverse=True, return_counts=True
+            )
+
+    @property
+    def total_pages(self) -> int:
+        return int(self.pages.size)
+
+    def draw(self, rate: int) -> tuple[np.ndarray, int]:
+        """Request mask and distinct-page count of a 1-in-``rate`` draw."""
+        if self.scheme == "temporal":
+            mask = sample_mask(self.trace, rate, self.scheme, self.salt)
+            return mask, int(np.unique(self.trace.pages[mask]).size)
+        member = page_membership(
+            self.pages, self.counts, rate, self.scheme, self.salt
+        )
+        return member[self.inverse], int(np.count_nonzero(member))
+
+    def replicate_draws(
+        self, rate: int, groups: int
+    ) -> list[tuple[np.ndarray, int]]:
+        """The ``groups`` disjoint sub-draws of the 1-in-``rate`` draw."""
+        if self.scheme == "temporal":
+            mask = sample_mask(self.trace, rate, self.scheme, self.salt)
+            ids = assign_groups(
+                self.trace, groups, self.scheme, self.salt, rate=rate
+            )
+            unique = np.unique
+            pages = self.trace.pages
+            draws = []
+            for group in range(groups):
+                sub = mask & (ids == group)
+                draws.append((sub, int(unique(pages[sub]).size)))
+            return draws
+        member = page_membership(
+            self.pages, self.counts, rate, self.scheme, self.salt
+        )
+        ids = page_groups(
+            self.pages, self.counts, groups, self.scheme, self.salt, rate
+        )
+        count = np.count_nonzero
+        inverse = self.inverse
+        draws = []
+        for group in range(groups):
+            sub = member & (ids == group)
+            draws.append((sub[inverse], int(count(sub))))
+        return draws
+
+
+def _replay_subset(
+    trace: Trace,
+    mask: np.ndarray,
+    subset_pages: int,
+    boundary: int,
+    machine: HybridMemorySpec,
+    total_pages: int,
+    measured_reads: int,
+    measured_writes: int,
+    factory: PolicyFactory,
+    gap: float,
+) -> tuple[RunResult, AccessAccounting, WearAccounting, int, float] | None:
+    """Simulate the masked subset at a proportionally scaled frame
+    budget and scale the result; ``None`` when the subset has no
+    measured span (degenerate replicate).
+
+    The frame budget scales by the *measured* page ratio (the
+    SHARDS-adj correction): a hash draw that lands 10% more pages than
+    ``1/rate`` expected gets 10% more frames, so the frames-per-page
+    capacity ratio — which the fault rate is extremely sensitive to —
+    matches the full configuration exactly rather than in expectation.
+    """
+    if not subset_pages:
+        return None
+    subset = subset_trace(trace, mask)
+    warm = int(np.count_nonzero(mask[:boundary])) if boundary else 0
+    measured_sampled = len(subset) - warm
+    if measured_sampled <= 0:
+        return None
+    result = simulate(
+        subset,
+        machine.sampled(total_pages / subset_pages),
+        factory,
+        inter_request_gap=gap,
+        warmup_requests=warm,
+    )
+    multiplier = (measured_reads + measured_writes) / measured_sampled
+    accounting, wear = scale_accounting(
+        result.accounting, result.wear,
+        total_pages / subset_pages,
+        measured_reads, measured_writes,
+        dram_share=machine.dram_pages / machine.total_pages,
+    )
+    return result, accounting, wear, measured_sampled, multiplier
+
+
+def _score(
+    accounting: AccessAccounting,
+    wear: WearAccounting,
+    machine: HybridMemorySpec,
+    gap: float,
+) -> dict:
+    """Evaluate the paper models on scaled counters against the *full*
+    machine (same recipe as ``HybridMemorySimulator.result``)."""
+    performance = compute_performance(accounting, machine)
+    power = compute_power(
+        accounting, machine, performance, inter_request_gap=gap
+    )
+    nvm_writes = compute_nvm_writes(accounting, machine)
+    elapsed = (
+        (performance.memory_time + gap) * accounting.total_requests
+    )
+    endurance = endurance_report(
+        wear, machine, elapsed_seconds=elapsed or None
+    )
+    return {
+        "performance": performance,
+        "power": power,
+        "nvm_writes": nvm_writes,
+        "endurance": endurance,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Confidence intervals
+# ---------------------------------------------------------------------------
+def _replicate_intervals(
+    trace: Trace,
+    membership: _Membership,
+    boundary: int,
+    machine: HybridMemorySpec,
+    total_pages: int,
+    measured_reads: int,
+    measured_writes: int,
+    config: SamplingConfig,
+    rate: int,
+    factory: PolicyFactory,
+    gap: float,
+    estimates: dict[str, float],
+) -> tuple[dict[str, MetricInterval], int]:
+    """Stratified page-group confidence intervals around ``estimates``.
+
+    Each of the ``groups`` disjoint sub-samples is a spatial sample at
+    a ``groups``-times smaller rate; the replicate spread estimates
+    the sampling variance of the group *mean*, which is the estimator
+    the point estimate approximates.
+    """
+    replicates: list[dict[str, float]] = []
+    for sub_mask, sub_pages in membership.replicate_draws(
+        rate, config.groups
+    ):
+        replay = _replay_subset(
+            trace, sub_mask, sub_pages, boundary,
+            machine, total_pages, measured_reads, measured_writes,
+            factory, gap,
+        )
+        if replay is None:
+            continue
+        _, accounting, wear, _, _ = replay
+        scores = _score(accounting, wear, machine, gap)
+        replicates.append({
+            "amat": scores["performance"].amat,
+            "appr": scores["power"].appr,
+            "nvm_writes": float(scores["nvm_writes"].total),
+        })
+    if len(replicates) < 2:
+        return {}, 0
+    z = statistics.NormalDist().inv_cdf((1.0 + config.confidence) / 2.0)
+    intervals: dict[str, MetricInterval] = {}
+    for metric in _INTERVAL_METRICS:
+        values = [replicate[metric] for replicate in replicates]
+        se = statistics.stdev(values) / len(values) ** 0.5
+        estimate = estimates[metric]
+        intervals[metric] = MetricInterval(
+            estimate=estimate, se=se,
+            lo=estimate - z * se, hi=estimate + z * se,
+        )
+    return intervals, len(replicates)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def sample_spec(
+    spec: "RunSpec",
+    instance: WorkloadInstance | None = None,
+    factory: PolicyFactory | None = None,
+) -> RunResult:
+    """Sampled counterpart of ``RunSpec.execute()``.
+
+    Renders (or reuses) the workload, draws the hash sample, replays
+    it at the scaled frame budget, scales the counters back up, scores
+    them against the full machine, and attaches a
+    :class:`SamplingSummary` (with replicate confidence intervals) to
+    the result.
+    """
+    config = spec.sampling if spec.sampling is not None else SamplingConfig()
+    if instance is None:
+        instance = spec.render()
+    trace = instance.trace
+    machine = spec.machine_spec(instance)
+    gap = instance.inter_request_gap
+    warmup = (
+        instance.warmup_fraction if spec.warmup_fraction is None
+        else spec.warmup_fraction
+    )
+    boundary = int(len(trace) * warmup) if warmup > 0.0 else 0
+
+    membership = _Membership(trace, config.scheme, config.salt)
+    total_pages = membership.total_pages
+    measured_writes = int(np.count_nonzero(trace.is_write[boundary:]))
+    measured_reads = len(trace) - boundary - measured_writes
+    rate = config.effective_rate(total_pages)
+    policy_factory = (
+        factory if factory is not None else spec.build_policy_factory()
+    )
+    if not getattr(policy_factory, "sampling_safe", True):
+        raise SamplingError(
+            f"policy {spec.policy!r} declares sampling_safe=False (its "
+            "decisions depend on global request-stream state, which "
+            "spatial sampling distorts); use engine=\"simulate\""
+        )
+
+    # Adaptive escalation (SHARDS-style rate adaptation on the rare
+    # events): replay the sample, and if it observed too few faults —
+    # the count whose ~1/sqrt(n) noise dominates AMAT error — retry at
+    # a 4x denser sample, bottoming out at exact replay.  Escalation
+    # retries cost at most ~1/3 of the final replay (geometric in the
+    # densities), so the fallback stays cheap.
+    while True:
+        mask, sampled_pages = membership.draw(rate)
+        replay = _replay_subset(
+            trace, mask, sampled_pages, boundary, machine, total_pages,
+            measured_reads, measured_writes, policy_factory, gap,
+        )
+        if replay is not None:
+            observed_faults = replay[0].accounting.page_faults
+            if rate == 1 or observed_faults >= config.min_faults:
+                break
+        elif rate == 1:
+            raise SamplingError(
+                f"the warm-up boundary leaves no measured requests for "
+                f"{spec.workload!r}; lower warmup_fraction"
+            )
+        rate = max(1, rate // 4)
+    raw, accounting, wear, measured_sampled, multiplier = replay
+    scores = _score(accounting, wear, machine, gap)
+
+    intervals: dict[str, MetricInterval] = {}
+    replicate_count = 0
+    if rate > 1 and config.groups > 1:
+        intervals, replicate_count = _replicate_intervals(
+            trace, membership, boundary, machine, total_pages,
+            measured_reads, measured_writes, config, rate,
+            policy_factory, gap,
+            estimates={
+                "amat": scores["performance"].amat,
+                "appr": scores["power"].appr,
+                "nvm_writes": float(scores["nvm_writes"].total),
+            },
+        )
+
+    summary = SamplingSummary(
+        rate=config.rate,
+        effective_rate=rate,
+        scheme=config.scheme,
+        salt=config.salt,
+        sampled_pages=sampled_pages,
+        total_pages=total_pages,
+        sampled_requests=measured_sampled,
+        total_requests=len(trace) - boundary,
+        multiplier=multiplier,
+        groups=replicate_count,
+        confidence=config.confidence,
+        intervals=intervals,
+    )
+    return RunResult(
+        workload=trace.name,
+        policy=raw.policy,
+        spec=machine,
+        accounting=accounting,
+        wear=wear,
+        performance=scores["performance"],
+        power=scores["power"],
+        nvm_writes=scores["nvm_writes"],
+        endurance=scores["endurance"],
+        sampling=summary,
+    )

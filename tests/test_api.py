@@ -53,4 +53,17 @@ def test_facade_exports_the_engine_surface():
     assert api.profile_workload is model.profile_workload
     assert api.WorkloadProfile is model.WorkloadProfile
     assert api.UnsupportedPolicyError is model.UnsupportedPolicyError
-    assert set(ENGINES) == {"simulate", "analytic"}
+    assert set(ENGINES) == {"simulate", "analytic", "sampled"}
+
+
+def test_facade_exports_the_sampling_surface():
+    import repro.sampling as sampling
+    import repro.trace.sampling as trace_sampling
+
+    assert api.SamplingConfig is sampling.SamplingConfig
+    assert api.SamplingSummary is sampling.SamplingSummary
+    assert api.MetricInterval is sampling.MetricInterval
+    assert api.SAMPLING_SCHEMES is trace_sampling.SAMPLING_SCHEMES
+    assert api.sample_mask is trace_sampling.sample_mask
+    assert api.assign_groups is trace_sampling.assign_groups
+    assert api.subset_trace is trace_sampling.subset_trace

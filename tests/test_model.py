@@ -304,7 +304,7 @@ class TestEstimators:
 # ---------------------------------------------------------------------------
 class TestEngineSpec:
     def test_engines_vocabulary(self):
-        assert ENGINES == ("simulate", "analytic")
+        assert ENGINES == ("simulate", "analytic", "sampled")
         with pytest.raises(ValueError, match="unknown engine"):
             RunSpec(workload="dedup", engine="quantum")
 

@@ -1,0 +1,273 @@
+"""Sampled-engine contract tests (``RunSpec(engine="sampled")``).
+
+The engine's load-bearing promises, pinned:
+
+* **Rate-1 identity** — a 1-in-1 sample replays the full trace on the
+  full machine, so the sampled engine must reproduce the exact
+  simulator *bit for bit* for every registered policy, while still
+  occupying its own digest/cache namespace.
+* **Identity & caching** — sampled specs digest distinctly from their
+  simulate/analytic twins, pre-sampling digests stay byte-identical
+  (warm caches survive), and sampled results round-trip losslessly
+  through the on-disk result cache and the worker pool.
+* **Validation** — the one-engine-one-meaning rules: ``events=`` only
+  on the simulator, ``sampling=`` only on the sampled engine, and
+  policies that declare ``sampling_safe=False`` are refused.
+* **Membership consistency** — the unique-level fast path
+  (:func:`page_membership`) selects exactly the pages the request-level
+  :func:`sample_mask` does, for every per-page scheme.
+* **Rate adaptation** — the ``min_faults`` floor escalates sparse-fault
+  samples toward exact replay instead of reporting noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.executor import ParallelExecutor, ResultCache
+from repro.experiments.runspec import RunSpec
+from repro.memory.specs import HybridMemorySpec
+from repro.policies.registry import available_policies
+from repro.sampling import MetricInterval, SamplingConfig, SamplingSummary
+from repro.sampling.engine import SamplingError, sample_spec
+from repro.trace.sampling import (
+    SAMPLING_SCHEMES,
+    page_membership,
+    sample_mask,
+)
+from repro.workloads.mix import mix_workloads
+from repro.workloads.parsec import WorkloadInstance
+from repro.workloads.synthetic import zipf_workload
+
+# ----------------------------------------------------------------------
+# Fixtures: one rendered instance per module, reused by every policy
+# ----------------------------------------------------------------------
+_ZIPF_PAGES = 400
+
+
+@pytest.fixture(scope="module")
+def zipf_instance() -> WorkloadInstance:
+    trace = zipf_workload(pages=_ZIPF_PAGES, requests=25_000, alpha=1.2,
+                          write_ratio=0.3, seed=7)
+    return WorkloadInstance(
+        profile=None,
+        trace=trace,
+        spec=HybridMemorySpec.for_footprint(trace.unique_pages),
+        warmup_fraction=0.1,
+        inter_request_gap=10e-9,
+    )
+
+
+@pytest.fixture(scope="module")
+def mix_instance():
+    return mix_workloads(("bodytrack", "streamcluster"),
+                         request_scale=1 / 2000, footprint_scale=1 / 128)
+
+
+def _identity_pair(instance, policy: str) -> tuple[dict, dict]:
+    """(full simulate, rate-1 sample) result dicts for one policy."""
+    sampled = RunSpec.core("zipf-or-mix", policy, engine="sampled",
+                           sampling=SamplingConfig(rate=1))
+    exact = replace(sampled, engine="simulate", sampling=None)
+    full = exact.execute(instance=instance).to_dict()
+    samp = sampled.execute(instance=instance).to_dict()
+    return full, samp
+
+
+def _strip_sampling(payload: dict) -> dict:
+    trimmed = dict(payload)
+    trimmed.pop("sampling", None)
+    return trimmed
+
+
+# ----------------------------------------------------------------------
+# Rate-1 identity: the sampled engine degenerates to the exact simulator
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", available_policies())
+def test_rate_one_is_bit_identical_on_zipf(zipf_instance, policy):
+    full, samp = _identity_pair(zipf_instance, policy)
+    assert samp["sampling"] is not None
+    assert samp["sampling"]["effective_rate"] == 1
+    assert _strip_sampling(samp) == _strip_sampling(full)
+
+
+@pytest.mark.parametrize("policy", available_policies())
+def test_rate_one_is_bit_identical_on_parsec_mix(mix_instance, policy):
+    full, samp = _identity_pair(mix_instance, policy)
+    assert _strip_sampling(samp) == _strip_sampling(full)
+
+
+@pytest.mark.parametrize("scheme", SAMPLING_SCHEMES)
+def test_rate_one_identity_holds_for_every_scheme(zipf_instance, scheme):
+    sampled = RunSpec("dedup", engine="sampled",
+                      sampling=SamplingConfig(rate=1, scheme=scheme))
+    exact = replace(sampled, engine="simulate", sampling=None)
+    full = exact.execute(instance=zipf_instance).to_dict()
+    samp = sampled.execute(instance=zipf_instance).to_dict()
+    assert _strip_sampling(samp) == _strip_sampling(full)
+
+
+# ----------------------------------------------------------------------
+# Identity: digests and cache behaviour
+# ----------------------------------------------------------------------
+class TestSpecIdentity:
+    def test_sampled_specs_digest_distinctly(self):
+        base = RunSpec("dedup")
+        sampled = RunSpec("dedup", engine="sampled")
+        assert sampled.digest() != base.digest()
+        assert sampled.digest() != RunSpec("dedup",
+                                           engine="analytic").digest()
+        assert RunSpec(
+            "dedup", engine="sampled", sampling=SamplingConfig(rate=1)
+        ).digest() != sampled.digest()
+
+    def test_golden_digests_are_pinned(self):
+        # Byte-for-byte digest stability: pre-sampling specs keep their
+        # historical addresses (warm caches survive the new engine) and
+        # sampled specs keep theirs from this point on.
+        assert RunSpec("dedup").digest() == "40b471fba25ce8a941b10cec"
+        assert RunSpec("dedup", engine="sampled").digest() \
+            == "6dd3cf635518d7a36eace9fc"
+        assert RunSpec(
+            "dedup", engine="sampled", sampling=SamplingConfig(rate=1)
+        ).digest() == "9a95d4f053c20b39c1b82af1"
+
+    def test_sampled_spec_round_trips_through_json(self):
+        spec = RunSpec("dedup", engine="sampled",
+                       sampling=SamplingConfig(rate=4, scheme="spatial",
+                                               salt=3, groups=4))
+        back = RunSpec.from_dict(spec.to_dict())
+        assert back == spec
+        assert back.digest() == spec.digest()
+
+    def test_label_names_the_rate(self):
+        spec = RunSpec("dedup", engine="sampled",
+                       sampling=SamplingConfig(rate=8))
+        assert "sampled@1/8" in spec.label()
+
+    def test_sampled_result_round_trips_through_the_cache(self, tmp_path):
+        spec = RunSpec("dedup", request_scale=0.005, footprint_scale=1 / 64,
+                       engine="sampled",
+                       sampling=SamplingConfig(rate=4, groups=4,
+                                               min_faults=0))
+        result = spec.execute()
+        assert isinstance(result.sampling, SamplingSummary)
+        cache = ResultCache(tmp_path)
+        cache.put(spec, result)
+        loaded = cache.get(spec)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+        assert isinstance(loaded.sampling, SamplingSummary)
+        for interval in loaded.sampling.intervals.values():
+            assert isinstance(interval, MetricInterval)
+
+    def test_parallel_merge_matches_serial_exactly(self):
+        specs = [
+            RunSpec.core(workload, policy, request_scale=0.005,
+                         footprint_scale=1 / 64, engine="sampled",
+                         sampling=SamplingConfig(rate=4, min_faults=0))
+            for workload in ("dedup", "vips")
+            for policy in ("proposed", "clock-dwf")
+        ]
+        serial = ParallelExecutor(jobs=1).submit(specs)
+        parallel = ParallelExecutor(jobs=2).submit(specs)
+        assert [r.to_dict() for r in serial] \
+            == [r.to_dict() for r in parallel]
+
+
+# ----------------------------------------------------------------------
+# Validation: one engine, one meaning
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_sampled_engine_rejects_event_collection(self):
+        from repro.obs.config import EventConfig
+
+        with pytest.raises(ValueError, match="no event stream"):
+            RunSpec("dedup", engine="sampled", events=EventConfig(trace=True))
+
+    def test_sampling_config_requires_the_sampled_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            RunSpec("dedup", sampling=SamplingConfig(rate=4))
+        with pytest.raises(ValueError, match="engine"):
+            RunSpec("dedup", engine="analytic",
+                    sampling=SamplingConfig(rate=4))
+
+    def test_sampled_specs_always_carry_a_config(self):
+        assert RunSpec("dedup", engine="sampled").sampling \
+            == SamplingConfig()
+
+    def test_sampling_unsafe_factory_is_refused(self, zipf_instance):
+        spec = RunSpec("dedup", engine="sampled",
+                       sampling=SamplingConfig(rate=2))
+
+        def factory(manager):  # pragma: no cover - never called
+            raise AssertionError("factory must not run")
+
+        factory.sampling_safe = False
+        with pytest.raises(SamplingError, match="sampling_safe"):
+            sample_spec(spec, instance=zipf_instance, factory=factory)
+
+
+# ----------------------------------------------------------------------
+# Membership: unique-level fast path == request-level reference
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme",
+                         [s for s in SAMPLING_SCHEMES if s != "temporal"])
+@pytest.mark.parametrize("rate", [1, 2, 8, 16])
+def test_page_membership_matches_sample_mask(zipf_instance, scheme, rate):
+    trace = zipf_instance.trace
+    pages, inverse, counts = np.unique(trace.pages, return_inverse=True,
+                                       return_counts=True)
+    member = page_membership(pages, counts, rate, scheme, salt=3)
+    mask = sample_mask(trace, rate, scheme, salt=3)
+    assert np.array_equal(member[inverse], mask)
+
+
+def test_page_membership_rejects_temporal(zipf_instance):
+    trace = zipf_instance.trace
+    pages, counts = np.unique(trace.pages, return_counts=True)
+    with pytest.raises(ValueError):
+        page_membership(pages, counts, 4, "temporal", salt=0)
+
+
+# ----------------------------------------------------------------------
+# Rate adaptation and uncertainty reporting
+# ----------------------------------------------------------------------
+class TestAdaptation:
+    def test_min_faults_escalates_to_exact_replay(self, zipf_instance):
+        spec = RunSpec("dedup", engine="sampled",
+                       sampling=SamplingConfig(rate=4, min_faults=10 ** 6))
+        result = spec.execute(instance=zipf_instance)
+        assert result.sampling.effective_rate == 1
+        exact = replace(spec, engine="simulate", sampling=None)
+        assert _strip_sampling(result.to_dict()) \
+            == _strip_sampling(exact.execute(instance=zipf_instance)
+                               .to_dict())
+
+    def test_min_faults_zero_disables_escalation(self, zipf_instance):
+        spec = RunSpec("dedup", engine="sampled",
+                       sampling=SamplingConfig(rate=4, min_faults=0))
+        result = spec.execute(instance=zipf_instance)
+        assert result.sampling.effective_rate == 4
+        assert 0 < result.sampling.sampled_pages \
+            < result.sampling.total_pages
+
+    def test_intervals_bracket_the_estimates(self, zipf_instance):
+        spec = RunSpec("dedup", engine="sampled",
+                       sampling=SamplingConfig(rate=4, groups=4,
+                                               min_faults=0))
+        summary = spec.execute(instance=zipf_instance).sampling
+        assert set(summary.intervals) == {"amat", "appr", "nvm_writes"}
+        for interval in summary.intervals.values():
+            assert interval.lo <= interval.estimate <= interval.hi
+            assert interval.se >= 0.0
+
+    def test_single_group_disables_intervals(self, zipf_instance):
+        spec = RunSpec("dedup", engine="sampled",
+                       sampling=SamplingConfig(rate=4, groups=1,
+                                               min_faults=0))
+        summary = spec.execute(instance=zipf_instance).sampling
+        assert summary.intervals == {}
