@@ -64,10 +64,15 @@ HOT_SAMPLING_FUNCTIONS = frozenset({
 })
 
 #: Per-class drive-loop methods that are hot by definition: the
-#: simulator replay loops dispatch every request of a run, and the
-#: sampled engine's membership draws run once per replicate.
+#: simulator replay loops dispatch every request of a run (``_drive``
+#: is the chunked loop every entry point funnels into), the streaming
+#: trace sources parse/slice every request before the simulator sees
+#: it, and the sampled engine's membership draws run once per
+#: replicate.
 HOT_DRIVE_METHODS: dict[str, tuple[str, ...]] = {
-    "HybridMemorySimulator": ("_replay", "_replay_chunked"),
+    "HybridMemorySimulator": ("_replay", "_drive"),
+    "IterableTraceSource": ("chunks",),
+    "TextTraceSource": ("chunks",),
     "_Membership": ("draw", "replicate_draws"),
 }
 

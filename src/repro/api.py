@@ -14,7 +14,10 @@ defines nothing — so it stays a zero-cost seam.
 Groups
 ------
 * **Workloads & traces** — PARSEC profiles, trace synthesis, the CPU
-  front-end and trace transforms/statistics.
+  front-end and trace transforms/statistics; the chunk-first
+  :class:`TraceSource` protocol (file readers, generator sources, the
+  chunk-invariant :func:`scan_source` digest and the
+  content-addressed :class:`TraceStore`).
 * **Machine specs** — memory-technology specs and the hybrid machine.
 * **Simulation** — the manager/policy substrate and the one-shot
   :func:`simulate` entry point for custom policies.
@@ -31,13 +34,28 @@ Groups
   trace-level membership primitives.
 * **Observability** — typed event streams: config, bus, sinks and the
   serialisable summaries that ride on :class:`RunResult`.
+* **Serving** — the resident ``repro serve`` service: the
+  transport-free :class:`ReproService`, the HTTP server and the
+  blocking client.
 """
 
 from __future__ import annotations
 
 # --- Workloads & traces ----------------------------------------------
 from repro.cpu import cotson_hierarchy, filter_trace, synthesize_cpu_trace
+from repro.cpu.filter import filter_chunks
 from repro.trace import Trace, characterize
+from repro.trace.source import (
+    DEFAULT_CHUNK_REQUESTS,
+    IterableTraceSource,
+    SourceSpec,
+    TraceSource,
+    TraceStore,
+    as_source,
+    materialize,
+    open_trace_source,
+    scan_source,
+)
 from repro.trace.transform import densify
 from repro.workloads import parsec_workload
 from repro.workloads.parsec import PROFILES, WORKLOAD_NAMES, WorkloadInstance
@@ -90,6 +108,9 @@ from repro.experiments.sweep import (
 )
 from repro.experiments.tables import table_ii, table_iii, table_iv
 
+# --- Serving ---------------------------------------------------------
+from repro.serve import ReproServer, ReproService, ServeClient, serve
+
 # --- Analytic engine -------------------------------------------------
 from repro.model import (
     ANALYTIC_POLICIES,
@@ -137,15 +158,25 @@ from repro.obs import (
 
 __all__ = [
     # workloads & traces
+    "DEFAULT_CHUNK_REQUESTS",
+    "IterableTraceSource",
     "PROFILES",
+    "SourceSpec",
     "Trace",
+    "TraceSource",
+    "TraceStore",
     "WORKLOAD_NAMES",
     "WorkloadInstance",
+    "as_source",
     "characterize",
     "cotson_hierarchy",
     "densify",
+    "filter_chunks",
     "filter_trace",
+    "materialize",
+    "open_trace_source",
     "parsec_workload",
+    "scan_source",
     "synthesize_cpu_trace",
     # machine specs
     "HybridMemorySpec",
@@ -194,6 +225,11 @@ __all__ = [
     "threshold_sweep",
     "verify_claims",
     "window_sweep",
+    # serving
+    "ReproServer",
+    "ReproService",
+    "ServeClient",
+    "serve",
     # analytic engine
     "ANALYTIC_POLICIES",
     "UnsupportedPolicyError",

@@ -75,7 +75,7 @@ from repro.obs.config import EventConfig
 from repro.obs.summary import EventSummary
 from repro.policies.registry import available_policies, policy_factory
 from repro.sampling import SamplingConfig
-from repro.trace.io import load_trace, read_text_trace
+from repro.trace.source import materialize, open_trace_source
 from repro.trace.stats import characterize
 from repro.trace.trace import Trace
 from repro.workloads.parsec import (
@@ -87,9 +87,7 @@ from repro.workloads.parsec import (
 
 
 def _load_trace(path: str) -> Trace:
-    if path.endswith(".npz"):
-        return load_trace(path)
-    return read_text_trace(path)
+    return materialize(open_trace_source(path))
 
 
 def _resolve_workload(args) -> tuple[Trace, HybridMemorySpec, float, float]:
@@ -474,6 +472,44 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Resident multi-tenant service over the shared grid flags.
+
+    The executor (``--jobs/--cache/--cache-dir/--progress/--sanitize``)
+    is exactly the one the batch commands use, so the server answers
+    warm queries from the same persistent result cache with zero
+    cold-start; ``--engine``/``--seed``/``--sample-rate`` become
+    server-side spec defaults applied to payloads that do not set
+    them; ``--events PATH`` additionally persists every event-bearing
+    run's JSONL stream under PATH.
+    """
+    from repro.serve import ReproService, serve
+
+    defaults: dict = {"seed": args.seed}
+    if args.engine != "simulate":
+        defaults["engine"] = args.engine
+    sampling = _sampling_config(args)
+    if sampling is not None:
+        if args.engine != "sampled":
+            print(f"--sample-rate requires --engine sampled (got --engine "
+                  f"{args.engine})", file=sys.stderr)
+            return 2
+        defaults["sampling"] = sampling
+    service = ReproService(
+        executor=_executor_from(args),
+        trace_root=args.trace_dir,
+        defaults=defaults,
+        events_dir=args.events,
+    )
+    print(f"repro serve listening on http://{args.host}:{args.port} "
+          f"(jobs={service.executor.jobs}, cache="
+          f"{'on' if service.executor.cache is not None else 'off'})",
+          file=sys.stderr)
+    serve(args.host, args.port, service)
+    print("repro serve: shut down cleanly", file=sys.stderr)
+    return 0
+
+
 def _reconstruct(result: RunResult) -> tuple[bool, str]:
     """Re-derive the end-of-run metrics from the interval deltas.
 
@@ -704,6 +740,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=25, metavar="N",
                    help="number of rows to print (default: 25)")
     p.set_defaults(func=_cmd_profile, cache_default=False)
+
+    p = sub.add_parser(
+        "serve", parents=[grid],
+        help="resident HTTP service: submit RunSpecs and trace "
+             "uploads, stream event JSONL, answer warm queries from "
+             "the result cache")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8023,
+                   help="bind port (default: 8023)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="spill directory for uploaded traces "
+                        "(default: <cache-dir>/traces)")
+    p.set_defaults(func=_cmd_serve, cache_default=True)
 
     p = sub.add_parser(
         "lint",

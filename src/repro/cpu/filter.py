@@ -353,3 +353,50 @@ def filter_trace_vectorized(
         name=name or f"{cpu_trace.name}-filtered",
         page_size=page_size,
     )
+
+
+def filter_chunks(
+    cpu_chunks,
+    hierarchy: CacheHierarchy | None = None,
+    page_size: int = PAGE_SIZE,
+    flush_at_end: bool = False,
+    name: str | None = None,
+    vectorized: bool = True,
+):
+    """Stream CPU-trace chunks through one shared cache hierarchy.
+
+    The chunked counterpart of :func:`filter_trace`: each incoming
+    :class:`CPUTrace` chunk is filtered against the *same* hierarchy —
+    both kernels write their working state back into the hierarchy on
+    every call, so feeding N chunks is bit-identical to filtering their
+    concatenation (pinned by the chunk-boundary equivalence suite) —
+    and the filtered :class:`Trace` chunks are yielded as they are
+    produced.  Peak memory is one chunk plus the cache state, so a CPU
+    trace of any length can feed the memory-side drive loop end to end
+    at constant memory.
+
+    ``flush_at_end`` emits the final dirty-line drain as one extra
+    trailing chunk after the input is exhausted.
+    """
+    hierarchy = hierarchy or cotson_hierarchy()
+    chunk_name = name
+    for chunk in cpu_chunks:
+        if chunk_name is None:
+            chunk_name = f"{chunk.name}-filtered"
+        yield filter_trace(
+            chunk, hierarchy, page_size, flush_at_end=False,
+            name=chunk_name, vectorized=vectorized,
+        )
+    if flush_at_end:
+        lines_per_page = page_size // hierarchy.line_size
+        pages: list[int] = []
+        writes: list[bool] = []
+        for line, line_is_write in hierarchy.flush():
+            pages.append(line // lines_per_page)
+            writes.append(line_is_write)
+        yield Trace(
+            np.asarray(pages, dtype=np.int64),
+            np.asarray(writes, dtype=bool),
+            name=chunk_name or "filtered",
+            page_size=page_size,
+        )

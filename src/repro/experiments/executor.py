@@ -25,6 +25,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import tempfile
 import traceback
 from dataclasses import dataclass
 from pathlib import Path
@@ -145,9 +146,24 @@ class ResultCache:
             "result": result.to_dict(),
         }
         path = self.path_for(spec)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        os.replace(tmp, path)
+        # Unique temp file + atomic rename: concurrent writers of the
+        # same spec (several executors, a resident server's threads)
+        # never interleave bytes — each rename is all-or-nothing and
+        # the last writer wins with a complete file.  A shared
+        # ``path + ".tmp"`` name would race: two writers would append
+        # into one file and rename a corrupt mixture.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem + "-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
 
 # ----------------------------------------------------------------------
@@ -160,17 +176,36 @@ _INSTANCES: dict[tuple, WorkloadInstance] = {}  # repro: worker-local
 
 
 def _rendered(spec: RunSpec) -> WorkloadInstance:
-    key = (spec.workload, spec.request_scale, spec.footprint_scale, spec.seed)
+    key = (
+        spec.workload, spec.request_scale, spec.footprint_scale, spec.seed,
+        # External traces key by content digest: two sources sharing a
+        # name must not collide in the per-worker instance cache.
+        spec.source.digest if spec.source is not None else None,
+    )
     if key not in _INSTANCES:
         _INSTANCES[key] = spec.render()
     return _INSTANCES[key]
+
+
+def _instance_for(spec: RunSpec) -> WorkloadInstance | None:
+    """The pre-rendered instance a spec's execution should reuse.
+
+    ``None`` for simulated source specs: those stream the backing
+    trace file chunk by chunk inside ``execute`` — materialising (and
+    worker-caching) the whole trace would defeat the constant-memory
+    drive path.  The analytic and sampled engines consume a rendered
+    instance either way.
+    """
+    if spec.source is not None and spec.engine == "simulate":
+        return None
+    return _rendered(spec)
 
 
 def _worker_run(item: tuple[int, RunSpec]) -> tuple[int, dict | None, str | None]:
     """Pool target: never raises — failures travel back as tracebacks."""
     index, spec = item
     try:
-        result = spec.execute(instance=_rendered(spec))
+        result = spec.execute(instance=_instance_for(spec))
         return index, result.to_dict(), None
     except Exception:
         return index, None, traceback.format_exc()
@@ -383,7 +418,7 @@ class ParallelExecutor:
             if error is not None:
                 self.stats.retries += 1
             try:
-                return spec.execute(instance=_rendered(spec)), None
+                return spec.execute(instance=_instance_for(spec)), None
             except Exception:
                 error = traceback.format_exc()
         return None, WorkerFailure(spec=spec, traceback=error or "")

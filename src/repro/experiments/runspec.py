@@ -29,9 +29,11 @@ from repro.mmu.simulator import HybridMemorySimulator, PolicyFactory, RunResult
 from repro.obs.config import EventConfig
 from repro.policies.registry import policy_factory
 from repro.sampling.config import SamplingConfig
+from repro.trace.source import SourceSpec, materialize
 from repro.workloads.parsec import (
     DEFAULT_FOOTPRINT_SCALE,
     DEFAULT_REQUEST_SCALE,
+    ParsecProfile,
     WorkloadInstance,
     parsec_workload,
 )
@@ -130,6 +132,19 @@ class RunSpec:
         normalised to a ``SamplingConfig``.  Part of the spec's
         identity; ``None`` on non-sampled specs keeps their
         pre-sampling digests unchanged.
+    source:
+        Externally-supplied trace (:class:`repro.trace.SourceSpec`),
+        usually built by :meth:`for_source`.  When set, the workload is
+        not rendered from a PARSEC profile — the simulate engine
+        streams the backing trace file chunk by chunk at constant
+        memory, the analytic and sampled engines see a synthetic
+        profile derived from the scan statistics — and
+        ``request_scale``/``footprint_scale``/``seed`` are inert (an
+        external trace is already fully determined).  Part of the
+        spec's identity through the chunk-size-invariant *content
+        digest* (the backing path is deliberately excluded, so the
+        same trace uploaded twice shares one cache entry); ``None``
+        keeps pre-source digests unchanged.
     """
 
     workload: str
@@ -143,8 +158,14 @@ class RunSpec:
     events: EventConfig | None = None
     engine: str = "simulate"
     sampling: SamplingConfig | None = None
+    source: SourceSpec | None = None
 
     def __post_init__(self) -> None:
+        if self.source is not None and not isinstance(self.source,
+                                                      SourceSpec):
+            object.__setattr__(
+                self, "source", SourceSpec.from_dict(self.source)
+            )
         if self.engine not in ENGINES:
             known = ", ".join(ENGINES)
             raise ValueError(
@@ -204,6 +225,20 @@ class RunSpec:
         return cls(workload=workload, policy=policy,
                    spec_transform=transform, **kwargs)
 
+    @classmethod
+    def for_source(cls, source: SourceSpec, **kwargs: Any) -> "RunSpec":
+        """A spec over an externally-supplied trace.
+
+        ``source`` is a :class:`~repro.trace.SourceSpec` — typically
+        from :meth:`repro.trace.TraceStore.add`, which turns any
+        :class:`~repro.trace.TraceSource` (a materialised trace, a
+        generator, a ``.trc``/``.npz`` file) into a content-addressed,
+        file-backed descriptor in one streaming pass.  The workload
+        name defaults to the source's name.
+        """
+        kwargs.setdefault("workload", source.name)
+        return cls(source=source, **kwargs)
+
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
@@ -221,6 +256,9 @@ class RunSpec:
             repr(self.events),
             self.engine,
             repr(self.sampling),
+            # Content identity only: two specs over the same trace
+            # reached via different paths sort (and cache) together.
+            "" if self.source is None else self.source.digest,
         )
 
     def to_dict(self) -> dict:
@@ -242,12 +280,16 @@ class RunSpec:
                 self.sampling.to_dict() if self.sampling is not None
                 else None
             ),
+            "source": (
+                self.source.to_dict() if self.source is not None else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunSpec":
         events = data.get("events")
         sampling = data.get("sampling")
+        source = data.get("source")
         return cls(
             workload=data["workload"],
             policy=data["policy"],
@@ -268,6 +310,9 @@ class RunSpec:
                 SamplingConfig.from_dict(sampling) if sampling is not None
                 else None
             ),
+            source=(
+                SourceSpec.from_dict(source) if source is not None else None
+            ),
         )
 
     def digest(self) -> str:
@@ -283,6 +328,14 @@ class RunSpec:
             # Same elision for the sampling config: only sampled specs
             # (which always carry one) spend a digest key on it.
             del data["sampling"]
+        if data["source"] is None:
+            # And for external sources: profile-rendered specs keep
+            # their pre-source digests.
+            del data["source"]
+        else:
+            # The backing path is where the bytes happen to live, not
+            # what they are — digest by content identity only.
+            data["source"] = self.source.identity_dict()  # type: ignore[union-attr]
         canonical = json.dumps(data, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
@@ -290,6 +343,8 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable form for progress reporting."""
         parts = [self.workload, self.policy]
+        if self.source is not None:
+            parts[0] = f"{self.workload}@{self.source.digest[:8]}"
         if self.engine == "sampled" and self.sampling is not None:
             parts.append(f"sampled@1/{self.sampling.rate}")
         elif self.engine != "simulate":
@@ -305,7 +360,17 @@ class RunSpec:
     # Execution
     # ------------------------------------------------------------------
     def render(self) -> WorkloadInstance:
-        """Render the workload (trace + sized machine) for this spec."""
+        """Render the workload (trace + sized machine) for this spec.
+
+        Source specs materialise the backing trace and wrap it in a
+        synthetic profile built from the scan statistics — the form
+        the analytic and sampled engines consume.  The simulate engine
+        never calls this for a source spec: it streams the file
+        directly (see :meth:`execute`), so replay stays constant
+        memory.
+        """
+        if self.source is not None:
+            return self._render_source()
         return parsec_workload(
             self.workload,
             request_scale=self.request_scale,
@@ -313,9 +378,41 @@ class RunSpec:
             seed=self.seed,
         )
 
+    def _render_source(self) -> WorkloadInstance:
+        source = self.source
+        assert source is not None
+        profile = ParsecProfile(
+            name=source.name,
+            working_set_kb=max(
+                1, source.unique_pages * source.page_size // 1024
+            ),
+            read_requests=source.requests - source.write_requests,
+            write_requests=source.write_requests,
+            compute_gap_ns=0.0,
+            description="external trace source",
+        )
+        return WorkloadInstance(
+            profile=profile,
+            trace=materialize(source.open()),
+            spec=self.source_machine(),
+            warmup_fraction=0.0,
+            inter_request_gap=0.0,
+        )
+
+    def source_machine(self) -> HybridMemorySpec:
+        """The machine a source spec implies: the paper's sizing rule
+        applied to the scanned footprint, before the transform."""
+        source = self.source
+        assert source is not None
+        return HybridMemorySpec.for_footprint(
+            source.unique_pages, page_size=source.page_size
+        )
+
     def machine_spec(self, instance: WorkloadInstance) -> HybridMemorySpec:
         """The rendered machine with this spec's transform applied."""
-        spec = instance.spec
+        return self._transform(instance.spec)
+
+    def _transform(self, spec: HybridMemorySpec) -> HybridMemorySpec:
         if self.spec_transform:
             name, *args = self.spec_transform
             spec = SPEC_TRANSFORMS[name](spec, *args)
@@ -354,6 +451,23 @@ class RunSpec:
             from repro.sampling.engine import sample_spec
 
             return sample_spec(self, instance=instance, factory=factory)
+        if instance is None and self.source is not None:
+            # Stream the backing file chunk by chunk: peak memory is
+            # one chunk regardless of trace length.  Bit-identical to
+            # the materialised replay below (the chunk-boundary
+            # equivalence suite pins this), so both paths share one
+            # cache entry.
+            simulator = HybridMemorySimulator(
+                self._transform(self.source_machine()),
+                factory if factory is not None
+                else self.build_policy_factory(),
+                events=self.events,
+            )
+            warmup = (0.0 if self.warmup_fraction is None
+                      else self.warmup_fraction)
+            return simulator.run_source(
+                self.source.open(), warmup_fraction=warmup
+            )
         if instance is None:
             instance = self.render()
         simulator = HybridMemorySimulator(

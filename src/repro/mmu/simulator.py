@@ -36,6 +36,7 @@ from repro.trace.trace import Trace
 
 if TYPE_CHECKING:  # avoid a package-level cycle with repro.policies
     from repro.policies.base import HybridMemoryPolicy
+    from repro.trace.source import TraceSource
 
 #: Builds a policy over a fresh memory manager (same shape as
 #: :data:`repro.policies.base.PolicyFactory`; duplicated here so the
@@ -206,9 +207,15 @@ class HybridMemorySimulator:
         self.events = events
         self._event_summary: EventSummary | None = None
 
-    def run(self, trace: Trace, warmup_fraction: float = 0.0,
+    def run(self, trace: "Trace | TraceSource", warmup_fraction: float = 0.0,
             warmup_requests: int | None = None) -> RunResult:
         """Simulate the trace and evaluate the models.
+
+        ``trace`` may be a materialised :class:`Trace` (replayed as one
+        whole-trace chunk, exactly as before) or any
+        :class:`~repro.trace.source.TraceSource` — both feed the same
+        chunked drive loop, whose results are bit-identical across
+        chunkings (pinned by the chunk-boundary equivalence suite).
 
         ``warmup_fraction`` of the trace is replayed first to populate
         memory and train the policy, then the accounting is reset and
@@ -223,48 +230,82 @@ class HybridMemorySimulator:
         mapped into the sample, which a fraction of the (shorter)
         sampled trace could not express exactly.
         """
+        return self.run_source(trace, chunk_size=None,
+                               warmup_fraction=warmup_fraction,
+                               warmup_requests=warmup_requests)
+
+    def run_source(
+        self,
+        source: "Trace | TraceSource",
+        chunk_size: int | None = None,
+        warmup_fraction: float = 0.0,
+        warmup_requests: int | None = None,
+    ) -> RunResult:
+        """Simulate a (possibly streaming) source chunk by chunk.
+
+        Peak memory is one chunk plus the resident page tables — a
+        trace-file or generator source of any length replays at
+        constant memory.  ``chunk_size=None`` lets the source pick its
+        natural chunking (whole trace for a materialised
+        :class:`Trace`, :data:`~repro.trace.source.DEFAULT_CHUNK_REQUESTS`
+        for streams).
+
+        Sources of unknown length (``request_count is None``) need an
+        explicit ``warmup_requests`` (a *fraction* of an unknown total
+        is meaningless) and — when events are collected — an explicit
+        ``EventConfig.interval``.
+        """
+        from repro.trace.source import as_source
+
+        source = as_source(source)
+        total = source.request_count
         if warmup_requests is not None:
-            if not 0 <= warmup_requests <= len(trace):
+            if warmup_requests < 0 or (
+                    total is not None and warmup_requests > total):
                 raise ValueError(
                     "warmup_requests must be within the trace length")
             boundary = warmup_requests
         else:
             if not 0.0 <= warmup_fraction < 1.0:
                 raise ValueError("warmup_fraction must be in [0, 1)")
+            if warmup_fraction > 0.0 and total is None:
+                raise ValueError(
+                    "warmup_fraction needs a source of known length; "
+                    "pass warmup_requests for streaming sources")
             boundary = (
-                int(len(trace) * warmup_fraction)
-                if warmup_fraction > 0.0 else 0
+                int(total * warmup_fraction)
+                if total is not None and warmup_fraction > 0.0 else 0
             )
         self._event_summary = None
-        if boundary:
-            self._replay(trace[:boundary])
-            self.mm.reset_accounting()
-            measured = trace[boundary:]
-        else:
-            measured = trace
-        if self.events is None:
-            self._replay(measured)
-        else:
-            bus = self._build_bus(len(measured))
+        bus: EventBus | None = None
+        if self.events is not None:
+            measured_total = total - boundary if total is not None else None
+            bus = self._build_bus(measured_total)
+        if bus is not None and boundary == 0:
             self.mm.events = bus
-            try:
-                self._replay_chunked(measured, bus)
-            finally:
-                self.mm.events = None
+        try:
+            replayed = self._drive(source, chunk_size, boundary, bus)
+        finally:
+            self.mm.events = None
+        if replayed < boundary:
+            raise ValueError(
+                f"source ended after {replayed} requests, inside the "
+                f"{boundary}-request warm-up region")
+        if bus is not None:
             bus.finish(self.mm)
             self._event_summary = self._summarize(bus)
         # End-of-run enforcement: every run must leave the policy's
         # structures consistent with the manager's, or the scores are
         # bookkeeping artifacts.
         self.policy.validate()
-        return self.result(workload=trace.name)
+        return self.result(workload=source.name)
 
-    def _build_bus(self, measured_requests: int) -> EventBus:
+    def _build_bus(self, measured_requests: int | None) -> EventBus:
         events = self.events
         if isinstance(events, EventBus):
             if events.interval <= 0:
-                events.interval = EventConfig().resolve_interval(
-                    measured_requests
+                events.interval = self._resolve_interval(
+                    EventConfig(), measured_requests
                 )
             return events
         assert isinstance(events, EventConfig)
@@ -275,9 +316,21 @@ class HybridMemorySimulator:
             sinks.append(BeneficialMigrationClassifier(self.spec))
         if events.trace:
             sinks.append(BufferSink())
-        return EventBus(sinks, interval=events.resolve_interval(
-            measured_requests
+        return EventBus(sinks, interval=self._resolve_interval(
+            events, measured_requests
         ))
+
+    @staticmethod
+    def _resolve_interval(config: EventConfig,
+                          measured_requests: int | None) -> int:
+        if config.interval > 0:
+            return config.interval
+        if measured_requests is None:
+            raise ValueError(
+                "bucket-derived event intervals need a source of known "
+                "length; set an explicit EventConfig(interval=N) for "
+                "streaming sources")
+        return config.resolve_interval(measured_requests)
 
     def _summarize(self, bus: EventBus) -> EventSummary | None:
         if not isinstance(self.events, EventConfig):
@@ -304,22 +357,64 @@ class HybridMemorySimulator:
             ),
         )
 
-    def _replay_chunked(self, trace: Trace, bus: EventBus) -> None:
-        """Measured-region replay with an epoch mark every interval.
+    def _drive(
+        self,
+        source: "TraceSource",
+        chunk_size: int | None,
+        boundary: int,
+        bus: EventBus | None,
+    ) -> int:
+        """The chunked drive loop; returns total requests consumed.
 
-        Chunking drives the same kernels as :meth:`_replay` (the batch
-        kernels flush their deferred accounting per chunk in their
-        ``finally`` blocks, so the totals are bit-identical to one big
-        batch), and ``base`` keeps the ``validate_every`` cadence
-        aligned with the unchunked replay.
+        Every chunk — whatever its size — drives the same kernels as a
+        whole-trace replay (the batch kernels flush their deferred
+        accounting per call in their ``finally`` blocks, so totals are
+        bit-identical across chunkings), ``base`` keeps the
+        ``validate_every`` cadence region-relative exactly as the
+        unchunked replay had it, and the warm-up reset and the event
+        epochs land on the same request ordinals regardless of where
+        the incoming chunk boundaries fall: chunks are carved at the
+        warm-up boundary and at every ``bus.interval`` multiple.
         """
-        interval = bus.interval
-        total = len(trace)
-        start = 0
-        while start < total:
-            self._replay(trace[start:start + interval], base=start)
-            start += interval
-            bus.epoch(self.mm)
+        mm = self.mm
+        interval = bus.interval if bus is not None else 0
+        done = 0        # requests consumed from the source
+        measured = 0    # requests replayed past the warm-up boundary
+        in_measured = boundary == 0
+        for chunk in source.chunks(chunk_size):
+            n = len(chunk)
+            start = 0
+            if not in_measured:
+                take = min(boundary - done, n)
+                if take:
+                    self._replay(chunk if take == n else chunk[:take],
+                                 base=done)
+                    done += take
+                    start = take
+                if done == boundary:
+                    in_measured = True
+                    mm.reset_accounting()
+                    if bus is not None:
+                        mm.events = bus
+                if start >= n:
+                    continue
+            if interval <= 0:
+                self._replay(chunk if start == 0 else chunk[start:],
+                             base=measured)
+                measured += n - start
+                done += n - start
+                continue
+            while start < n:
+                stop = min(n, start + interval - measured % interval)
+                part = chunk if (start == 0 and stop == n) \
+                    else chunk[start:stop]
+                self._replay(part, base=measured)
+                measured += stop - start
+                done += stop - start
+                start = stop
+                if measured % interval == 0:
+                    bus.epoch(mm)  # type: ignore[union-attr]
+        return done
 
     def _replay(self, trace: Trace, base: int = 0) -> None:
         # The kernel is selected once per replay — per-request code
@@ -380,7 +475,7 @@ class HybridMemorySimulator:
 
 
 def simulate(
-    trace: Trace,
+    trace: "Trace | TraceSource",
     spec: HybridMemorySpec,
     policy_factory: PolicyFactory,
     validate_every: int = 0,

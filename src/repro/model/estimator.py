@@ -698,7 +698,9 @@ def estimate_spec(spec: "RunSpec", instance=None) -> RunResult:
         else spec.warmup_fraction
     )
     cache_key = (
-        spec.workload, spec.request_scale, spec.footprint_scale,
+        # External sources key by content digest (names can collide).
+        spec.source.digest if spec.source is not None else spec.workload,
+        spec.request_scale, spec.footprint_scale,
         spec.seed, warmup,
     )
     profile = _PROFILES.get(cache_key)

@@ -1,0 +1,31 @@
+"""Resident multi-tenant simulation service (``repro serve``).
+
+Three layers, all stdlib:
+
+* :class:`~repro.serve.service.ReproService` — the transport-free
+  core: accepts :class:`~repro.experiments.runspec.RunSpec` payloads
+  (tolerant dict form), executes them through one shared
+  :class:`~repro.experiments.executor.ParallelExecutor` (so the warm
+  :class:`~repro.experiments.executor.ResultCache` answers repeat
+  queries with zero cold-start), and ingests uploaded traces into a
+  content-addressed :class:`~repro.trace.TraceStore`.
+* :class:`~repro.serve.server.ReproServer` — a threading HTTP server
+  over the service: ``GET /healthz /stats /policies /workloads``,
+  ``POST /run`` (``?stream=1`` streams the run's event stream as
+  JSONL before the final result line), ``POST /batch``, ``POST
+  /traces`` (``.trc`` upload), ``POST /shutdown``.
+* :class:`~repro.serve.client.ServeClient` — a small blocking client
+  over ``http.client`` (what the tests and the CI smoke job use).
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer, serve
+from repro.serve.service import ReproService, ServiceError
+
+__all__ = [
+    "ReproServer",
+    "ReproService",
+    "ServeClient",
+    "ServiceError",
+    "serve",
+]

@@ -19,19 +19,43 @@ from repro.trace.io import (
     write_text_trace,
 )
 from repro.trace.mrc import MissRatioCurve, miss_ratio_curve, stack_distances
+from repro.trace.source import (
+    DEFAULT_CHUNK_REQUESTS,
+    IterableTraceSource,
+    NpzTraceSource,
+    SourceSpec,
+    TextTraceSource,
+    TraceSource,
+    TraceStore,
+    as_source,
+    materialize,
+    open_trace_source,
+    scan_source,
+)
 from repro.trace.stats import WorkloadStats, characterize, page_popularity
 from repro.trace import transform
 
 __all__ = [
     "ACCESS_SIZE",
+    "DEFAULT_CHUNK_REQUESTS",
     "PAGE_SIZE",
     "AccessKind",
     "CPUAccess",
     "CPUTrace",
+    "IterableTraceSource",
     "MemoryAccess",
     "MissRatioCurve",
+    "NpzTraceSource",
+    "SourceSpec",
+    "TextTraceSource",
     "Trace",
+    "TraceSource",
+    "TraceStore",
     "WorkloadStats",
+    "as_source",
+    "materialize",
+    "open_trace_source",
+    "scan_source",
     "characterize",
     "interleave",
     "load_cpu_trace",

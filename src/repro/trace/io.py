@@ -16,6 +16,7 @@ and page size).
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 from typing import TextIO
 
@@ -33,6 +34,17 @@ def _parse_int(token: str) -> int:
     return int(token)
 
 
+def _whole_trace_deprecated(old: str) -> None:
+    warnings.warn(
+        f"{old} renders the whole trace in memory; use "
+        "repro.trace.source.open_trace_source(path) for chunked/"
+        "streaming replay (materialize(source) reproduces the old "
+        "behaviour)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 # ----------------------------------------------------------------------
 # Text format
 # ----------------------------------------------------------------------
@@ -47,7 +59,14 @@ def write_text_trace(trace: Trace, path: str | os.PathLike[str]) -> None:
 
 
 def read_text_trace(path: str | os.PathLike[str]) -> Trace:
-    """Read a page trace from the text format."""
+    """Read a page trace from the text format.
+
+    .. deprecated::
+        Whole-trace entry point; prefer
+        :func:`repro.trace.source.open_trace_source`, which streams the
+        file in fixed-size chunks at constant memory.
+    """
+    _whole_trace_deprecated("read_text_trace")
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
         return parse_text_trace(handle, default_name=path.stem)
@@ -55,14 +74,14 @@ def read_text_trace(path: str | os.PathLike[str]) -> Trace:
 
 def parse_text_trace(handle: TextIO, default_name: str = "trace") -> Trace:
     """Parse the text trace format from an open file object."""
+    from repro.trace.source import parse_trace_line
+
     name = default_name
     page_size = PAGE_SIZE
     pages: list[int] = []
     writes: list[bool] = []
     for line_number, raw_line in enumerate(handle, start=1):
         line = raw_line.strip()
-        if not line:
-            continue
         if line.startswith("#"):
             body = line[1:].strip()
             if body.startswith("name:"):
@@ -70,15 +89,11 @@ def parse_text_trace(handle: TextIO, default_name: str = "trace") -> Trace:
             elif body.startswith("page_size:"):
                 page_size = _parse_int(body[len("page_size:"):])
             continue
-        fields = line.split()
-        if len(fields) < 2:
-            raise ValueError(
-                f"line {line_number}: expected '<R|W> <page>', got {line!r}"
-            )
-        kind = AccessKind.parse(fields[0])
-        page = _parse_int(fields[1])
-        pages.append(page)
-        writes.append(kind is AccessKind.WRITE)
+        parsed = parse_trace_line(raw_line, line_number)
+        if parsed is None:
+            continue
+        pages.append(parsed[0])
+        writes.append(parsed[1])
     return Trace(pages, writes, name=name, page_size=page_size)
 
 
@@ -136,7 +151,19 @@ def save_trace(trace: Trace, path: str | os.PathLike[str]) -> None:
 
 
 def load_trace(path: str | os.PathLike[str]) -> Trace:
-    """Load a page trace from a ``.npz`` file."""
+    """Load a page trace from a ``.npz`` file.
+
+    .. deprecated::
+        Whole-trace entry point; prefer
+        :func:`repro.trace.source.open_trace_source`, which serves all
+        trace-file formats behind the chunked source protocol.
+    """
+    _whole_trace_deprecated("load_trace")
+    return _load_trace_arrays(path)
+
+
+def _load_trace_arrays(path: str | os.PathLike[str]) -> Trace:
+    """The ``.npz`` decode itself (shared with the source adapter)."""
     with np.load(Path(path), allow_pickle=False) as data:
         return Trace(
             data["pages"],

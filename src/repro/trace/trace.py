@@ -100,6 +100,42 @@ class Trace:
         return cls(pages, writes, name=name, page_size=page_size)
 
     @classmethod
+    def from_chunks(
+        cls,
+        chunks: Iterable["Trace"],
+        name: str | None = None,
+        page_size: int | None = None,
+    ) -> "Trace":
+        """Join trace chunks (in order) into one materialised trace.
+
+        The inverse of :meth:`chunks`; the constructor counterpart of
+        the streaming :class:`~repro.trace.source.TraceSource` path.
+        ``name``/``page_size`` default to the first chunk's values;
+        chunks with a conflicting page size are rejected.
+        """
+        pages: list[np.ndarray] = []
+        writes: list[np.ndarray] = []
+        for chunk in chunks:
+            if name is None:
+                name = chunk.name
+            if page_size is None:
+                page_size = chunk.page_size
+            elif chunk.page_size != page_size:
+                raise ValueError(
+                    f"chunk page_size {chunk.page_size} != {page_size}")
+            pages.append(chunk._pages)
+            writes.append(chunk._is_write)
+        if not pages:
+            return cls.empty(name=name or "trace",
+                             page_size=page_size or PAGE_SIZE)
+        return cls(
+            np.concatenate(pages),
+            np.concatenate(writes),
+            name=name or "trace",
+            page_size=page_size or PAGE_SIZE,
+        )
+
+    @classmethod
     def empty(cls, name: str = "trace", page_size: int = PAGE_SIZE) -> "Trace":
         return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool),
                    name=name, page_size=page_size)
@@ -134,6 +170,32 @@ class Trace:
         constructing a ``MemoryAccess`` object per request.
         """
         return zip(self._pages.tolist(), self._is_write.tolist())
+
+    # ------------------------------------------------------------------
+    # TraceSource protocol: a materialised trace is its own source
+    # ------------------------------------------------------------------
+    @property
+    def request_count(self) -> int:
+        """Total requests (the :class:`TraceSource` protocol's name for
+        a known length; streaming sources may return ``None``)."""
+        return len(self)
+
+    def chunks(self, chunk_size: int | None = None) -> Iterator["Trace"]:
+        """Yield the trace as fixed-size chunks (zero-copy views).
+
+        ``None`` yields the whole trace as a single chunk — the
+        natural unit for an already-materialised trace, which keeps
+        the unified chunked drive loop exactly as fast as the old
+        whole-trace replay.
+        """
+        if chunk_size is None:
+            if len(self):
+                yield self
+            return
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        for start in range(0, len(self), chunk_size):
+            yield self[start:start + chunk_size]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Trace):
@@ -271,6 +333,28 @@ class CPUTrace:
             self._is_write.tolist(),
             self._cores.tolist(),
         )
+
+    def chunks(self, chunk_size: int | None = None) -> Iterator["CPUTrace"]:
+        """Yield the CPU trace as fixed-size chunks (zero-copy views).
+
+        ``None`` yields the whole trace as one chunk; the chunked
+        cache filter (:func:`repro.cpu.filter.filter_chunks`) consumes
+        these to keep the CPU front-end streaming too.
+        """
+        if chunk_size is None:
+            if len(self):
+                yield self
+            return
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        for start in range(0, len(self), chunk_size):
+            stop = start + chunk_size
+            yield CPUTrace(
+                self._addresses[start:stop],
+                self._is_write[start:stop],
+                self._cores[start:stop],
+                name=self.name,
+            )
 
     def __repr__(self) -> str:
         return f"CPUTrace(name={self.name!r}, requests={len(self)})"

@@ -43,7 +43,8 @@ class TestTextFormat:
     def test_round_trip(self, trace, tmp_path):
         path = tmp_path / "trace.trc"
         write_text_trace(trace, path)
-        loaded = read_text_trace(path)
+        with pytest.deprecated_call():  # whole-trace reader: use sources
+            loaded = read_text_trace(path)
         assert loaded == trace
         assert loaded.name == "roundtrip"
         assert loaded.page_size == 8192
@@ -83,7 +84,8 @@ class TestBinaryFormat:
     def test_round_trip(self, trace, tmp_path):
         path = tmp_path / "trace.npz"
         save_trace(trace, path)
-        loaded = load_trace(path)
+        with pytest.deprecated_call():  # whole-trace reader: use sources
+            loaded = load_trace(path)
         assert loaded == trace
         assert loaded.name == trace.name
 
@@ -98,6 +100,7 @@ class TestBinaryFormat:
     def test_empty_trace(self, tmp_path):
         path = tmp_path / "empty.npz"
         save_trace(Trace.empty(name="nothing"), path)
-        loaded = load_trace(path)
+        with pytest.deprecated_call():  # whole-trace reader: use sources
+            loaded = load_trace(path)
         assert len(loaded) == 0
         assert loaded.name == "nothing"
